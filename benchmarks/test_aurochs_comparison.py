@@ -1,0 +1,14 @@
+"""E7 — Section VI-B(c): Revet vs Aurochs on tree traversal."""
+
+from conftest import run_once
+
+from repro.eval import aurochs_comparison
+
+
+def test_aurochs_comparison(benchmark):
+    result = run_once(benchmark, aurochs_comparison)
+    # The paper reports Revet's kD-tree is over 11x faster than Aurochs's.
+    assert result["revet_speedup_x"] > 11.0
+    assert result["live_value_duplication_x"] > 1.0
+    assert result["lost_node_vectorization_x"] > 1.0
+    print("\n" + str(result))

@@ -1,0 +1,19 @@
+"""E4 — Figure 12: resource increase when disabling optimization passes."""
+
+from conftest import run_once
+
+from repro.eval import fig12_optimization_impact, format_rows
+
+
+def test_fig12_optimization_impact(benchmark):
+    # A representative subset keeps the benchmark runtime manageable; pass
+    # apps=None to sweep all eight applications.
+    rows = run_once(benchmark, fig12_optimization_impact,
+                    ["isipv4", "murmur3", "hash-table", "kD-tree"])
+    assert rows
+    for row in rows:
+        # Disabling optimizations never *reduces* resource usage.
+        assert row["no_if_conv_cu_x"] >= 1.0
+        assert row["no_buffer_cu_x"] >= 1.0
+        assert row["no_pack_cu_x"] >= 1.0
+    print("\n" + format_rows(rows))

@@ -1,0 +1,19 @@
+"""E5 — Figure 13: hierarchy removal performance/area scaling (murmur3)."""
+
+from conftest import run_once
+
+from repro.eval import fig13_hierarchy_removal, format_rows
+
+
+def test_fig13_hierarchy_removal(benchmark):
+    rows = run_once(benchmark, fig13_hierarchy_removal)
+    assert len(rows) == 6
+    # Hierarchy removal moves the scaling curve up and to the left: at the
+    # largest area point it outperforms both hierarchical variants, and the
+    # shared-init variant saturates (sub-linear scaling).
+    last = rows[-1]
+    assert last["perf_removed"] > last["perf_shared"]
+    assert last["perf_removed"] >= last["perf_duplicated"]
+    assert last["norm_area_duplicated"] > last["norm_area_removed"]
+    assert rows[-1]["perf_shared"] / rows[0]["perf_shared"] < 6  # saturation
+    print("\n" + format_rows(rows))

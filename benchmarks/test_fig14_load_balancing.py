@@ -1,0 +1,19 @@
+"""E6 — Figure 14: allocator-hoisting load balancing for search."""
+
+from conftest import run_once
+
+from repro.eval import fig14_load_balancing, format_rows
+
+
+def test_fig14_load_balancing(benchmark):
+    rows = run_once(benchmark, fig14_load_balancing)
+    assert rows
+    for row in rows:
+        # The slow region receives less than its equal share and the fast
+        # regions more, avoiding the slowdown of static partitioning.
+        assert row["slow_region_%"] < row["equal_share_%"]
+        assert row["fast_region_%"] > row["equal_share_%"]
+        assert row["hoisted_makespan"] < row["static_makespan"]
+    # Large inputs: slow region settles below ~10-11% (paper: under 10%).
+    assert rows[-1]["slow_region_%"] < 11.0
+    print("\n" + format_rows(rows))

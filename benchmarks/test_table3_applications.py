@@ -1,0 +1,11 @@
+"""E1 — Table III: applications, sizes, and key features."""
+
+from conftest import run_once
+
+from repro.eval import format_rows, table3_applications
+
+
+def test_table3_applications(benchmark):
+    rows = run_once(benchmark, table3_applications)
+    assert len(rows) == 8
+    print("\n" + format_rows(rows))

@@ -1,0 +1,18 @@
+"""E2 — Table IV: per-application vRDA resource usage."""
+
+from conftest import run_once
+
+from repro.core.machine import DEFAULT_MACHINE
+from repro.eval import format_rows, table4_resources
+
+
+def test_table4_resources(benchmark):
+    rows = run_once(benchmark, table4_resources)
+    assert len(rows) == 8
+    for row in rows:
+        # Every configuration must fit the Table II machine.
+        assert row["total_cu"] <= DEFAULT_MACHINE.num_cus
+        assert row["total_mu"] <= DEFAULT_MACHINE.num_mus
+        assert row["total_ag"] <= DEFAULT_MACHINE.num_ags
+        assert row["lanes"] >= DEFAULT_MACHINE.lanes
+    print("\n" + format_rows(rows))

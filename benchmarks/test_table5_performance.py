@@ -1,0 +1,30 @@
+"""E3 — Table V: Revet vs V100 vs CPU throughput and ideal-model speedups."""
+
+from conftest import run_once
+
+from repro.eval import format_rows, table5_performance, table5_summary
+
+
+def test_table5_performance(benchmark):
+    rows = run_once(benchmark, table5_performance)
+    assert len(rows) == 8
+    by_app = {r["app"]: r for r in rows}
+    # Headline shape checks (see EXPERIMENTS.md for the full discussion):
+    # Revet beats the GPU on the parsing workloads and on tree traversal, and
+    # the GPU's tree traversal collapses to single-digit GB/s.
+    assert by_app["isipv4"]["gpu_speedup"] > 1
+    assert by_app["ip2int"]["gpu_speedup"] > 1
+    assert by_app["kD-tree"]["gpu_speedup"] > 1
+    assert by_app["kD-tree"]["gpu_gbs"] < 10
+    # Every app beats the CPU or is within the same order of magnitude.
+    assert all(r["cpu_speedup"] > 0.1 for r in rows)
+    summary = table5_summary(rows)
+    print("\n" + format_rows(rows))
+    print(summary)
+
+
+def test_table5_summary_area_adjustment(benchmark):
+    rows = table5_performance(apps=["isipv4", "kD-tree"])
+    summary = run_once(benchmark, table5_summary, rows)
+    # The area-adjusted speedup must exceed the raw speedup by the 4.3x ratio.
+    assert summary["area_adjusted_gpu_speedup"] > summary["gpu_speedup_geomean"] * 4

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Data-analytics scenario: hashing, hash-table lookups, and Huffman coding.
+
+Demonstrates the data-processing applications of Table III and prints the
+per-application throughput model next to the GPU/CPU baseline models —
+a miniature version of Table V.
+"""
+
+from repro.apps import REGISTRY
+from repro.apps.base import check_app
+from repro.baselines.cpu import CPUModel
+from repro.baselines.gpu import GPUModel
+from repro.eval.tables import table5_performance
+
+
+def main() -> None:
+    for name in ("murmur3", "hash-table", "huff-enc", "huff-dec"):
+        spec = REGISTRY.get(name)
+        ok = check_app(spec, n_threads=6, seed=3)
+        print(f"{name:10s} correctness vs reference: {'OK' if ok else 'FAIL'}")
+
+    print("\nmini Table V (models, GB/s):")
+    rows = table5_performance(apps=["murmur3", "hash-table"])
+    gpu, cpu = GPUModel(), CPUModel()
+    for row in rows:
+        print(f"  {row['app']:10s} revet={row['revet_gbs']:8.1f}  "
+              f"gpu={row['gpu_gbs']:8.1f}  cpu={row['cpu_gbs']:6.1f}  "
+              f"(paper revet: {row['paper_revet_gbs']})")
+
+
+if __name__ == "__main__":
+    main()

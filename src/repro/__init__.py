@@ -1,0 +1,20 @@
+"""Revet reproduction: a language and compiler for dataflow threads.
+
+The public API is organized in layers:
+
+* :mod:`repro.core` — the dataflow-threads machine model (SLTF streams,
+  streaming primitives, structured dataflow graphs, functional executor).
+* :mod:`repro.lang` / :mod:`repro.frontend` — the Revet language and its
+  lowering into the IR.
+* :mod:`repro.ir` / :mod:`repro.passes` / :mod:`repro.dataflow` — the
+  MLIR-style IR, optimization passes, and control-flow-to-dataflow lowering.
+* :mod:`repro.sim` — the cycle-level vRDA performance model.
+* :mod:`repro.apps`, :mod:`repro.baselines`, :mod:`repro.eval` — the paper's
+  applications, baselines, and experiment harness.
+"""
+
+__version__ = "0.1.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

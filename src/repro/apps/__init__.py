@@ -1,0 +1,18 @@
+"""The Table III application suite (plus the strlen running example)."""
+
+from repro.apps.base import AppInstance, AppSpec, AppRegistry, REGISTRY, check_app, run_app
+from repro.apps import isipv4, ip2int, murmur3, hash_table, search, huffman, kdtree, strlen
+
+#: The eight applications evaluated in the paper (Table III order).
+TABLE3_APPS = ["isipv4", "ip2int", "murmur3", "hash-table", "search",
+               "huff-dec", "huff-enc", "kD-tree"]
+
+__all__ = [
+    "AppInstance",
+    "AppSpec",
+    "AppRegistry",
+    "REGISTRY",
+    "TABLE3_APPS",
+    "check_app",
+    "run_app",
+]

@@ -1,0 +1,8 @@
+"""Baseline models: V100 GPU, Xeon CPU, and the Aurochs vRDA."""
+
+from repro.baselines.gpu import GPUConfig, GPUModel
+from repro.baselines.cpu import CPUConfig, CPUModel
+from repro.baselines.aurochs import AurochsComparison, AurochsModel
+
+__all__ = ["GPUConfig", "GPUModel", "CPUConfig", "CPUModel",
+           "AurochsComparison", "AurochsModel"]

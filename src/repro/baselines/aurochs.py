@@ -1,0 +1,69 @@
+"""Aurochs baseline model (Section VI-B(c)).
+
+Aurochs is the original dataflow-threads machine; most Revet applications
+cannot run on it because it lacks per-thread SRAM.  The paper's one shared
+benchmark is tree traversal, where Revet is >11x faster because:
+
+* Aurochs has no thread-local storage, so ~10 live variables (the query
+  rectangle, counters, and node state) are duplicated through the pipeline
+  and recirculated through the network on every iteration;
+* Aurochs has no nested ``foreach``, so the 15-comparison node test cannot be
+  vectorized across lanes — one comparison per lane-cycle instead of a whole
+  node per cycle (a 16-ary node per 64 B DRAM read);
+* Aurochs detects loop completion with a timeout rather than barriers, which
+  adds idle cycles at every wavefront.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.machine import DEFAULT_MACHINE, MachineConfig
+
+
+@dataclass
+class AurochsComparison:
+    """Modelled slowdown factors of Aurochs relative to Revet for kD-tree."""
+
+    live_value_duplication: float
+    lost_node_vectorization: float
+    timeout_overhead: float
+
+    @property
+    def total_slowdown(self) -> float:
+        return (self.live_value_duplication * self.lost_node_vectorization
+                * self.timeout_overhead)
+
+
+class AurochsModel:
+    """Estimates the Aurochs/Revet gap for the tree-traversal benchmark."""
+
+    def __init__(self, machine: MachineConfig = DEFAULT_MACHINE,
+                 live_values: int = 10, comparisons_per_node: int = 15,
+                 timeout_cycles: int = 64, avg_body_cycles: int = 24):
+        self.machine = machine
+        self.live_values = live_values
+        self.comparisons_per_node = comparisons_per_node
+        self.timeout_cycles = timeout_cycles
+        self.avg_body_cycles = avg_body_cycles
+
+    def comparison(self) -> AurochsComparison:
+        # Revet keeps live values in per-thread SRAM: only the thread pointer
+        # recirculates.  Aurochs recirculates every live value, multiplying
+        # network traffic on the loop's critical link.
+        duplication = (1 + self.live_values) / 2.0
+        # Revet's nested foreach evaluates all node comparisons across lanes
+        # in one pipeline pass; Aurochs evaluates them one lane-slot at a time
+        # but still overlaps some work in its pipeline stages.
+        vectorization = self.comparisons_per_node / self.machine.stages
+        # Timeout-based loop termination idles the loop head between wavefronts.
+        timeout = 1 + self.timeout_cycles / (self.avg_body_cycles * 8)
+        return AurochsComparison(
+            live_value_duplication=duplication,
+            lost_node_vectorization=vectorization,
+            timeout_overhead=timeout,
+        )
+
+    def speedup_of_revet(self) -> float:
+        """How much faster Revet's kD-tree is than the Aurochs implementation."""
+        return self.comparison().total_slowdown

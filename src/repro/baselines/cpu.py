@@ -1,0 +1,58 @@
+"""Xeon CPU baseline model (Section VI-A(b), Table V's CPU column).
+
+A 64-thread Ice Lake Xeon with 205 GB/s of DDR4: throughput is the smaller
+of the DRAM streaming bound and an instruction-throughput bound derived from
+the per-byte work of each kernel (branchy byte-at-a-time parsing costs
+several instructions per byte; hashing and lookup are lighter per byte but
+latency-bound on random accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppSpec
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """3rd-generation Xeon Platinum (m6i.16xlarge) parameters."""
+
+    threads: int = 64
+    clock_ghz: float = 3.5
+    ipc: float = 3.0
+    mem_bandwidth_gbs: float = 205.0
+    random_access_penalty_ns: float = 70.0
+
+
+class CPUModel:
+    """Analytical throughput model for the Table V CPU column."""
+
+    def __init__(self, config: CPUConfig = CPUConfig()):
+        self.config = config
+
+    def instructions_per_byte(self, spec: AppSpec) -> float:
+        """Approximate dynamic instruction cost per byte of application data."""
+        iters_per_byte = spec.avg_iterations_per_thread / max(1, spec.bytes_per_thread)
+        if "nested while" in spec.key_features:
+            return 18.0 * max(iters_per_byte, 0.25)
+        if spec.name in ("isipv4", "ip2int"):
+            return 22.0  # byte-at-a-time branchy parsing
+        if spec.name in ("huff-enc", "huff-dec"):
+            return 20.0 * max(iters_per_byte, 0.25)
+        return 8.0 * max(iters_per_byte, 0.25)
+
+    def throughput_gbs(self, spec: AppSpec) -> float:
+        cfg = self.config
+        bandwidth_bound = cfg.mem_bandwidth_gbs
+        inst_per_byte = self.instructions_per_byte(spec)
+        compute_bound = (cfg.threads * cfg.clock_ghz * cfg.ipc) / inst_per_byte
+        bounds = [bandwidth_bound, compute_bound]
+        if spec.name in ("hash-table", "kD-tree"):
+            # Pointer-chasing: each thread stalls on DRAM latency per probe.
+            accesses_per_byte = max(0.05, spec.avg_iterations_per_thread
+                                    / max(1, spec.bytes_per_thread))
+            latency_bound = (cfg.threads
+                             / (accesses_per_byte * cfg.random_access_penalty_ns)) * 1.0
+            bounds.append(latency_bound)
+        return min(bounds)

@@ -1,0 +1,108 @@
+"""The Revet compiler driver: source text to an executable dataflow program.
+
+This assembles the pipeline of Figure 8:
+
+1. parse and semantic-check the Revet source (``repro.lang``),
+2. lower the AST to the mixed scf/revet IR (``repro.frontend``),
+3. run the high-level lowering and optimization passes (``repro.passes``),
+4. lower structured control flow to a dataflow graph (``repro.dataflow``).
+
+The result is a :class:`repro.dataflow.lowering.CompiledProgram`, which can be
+executed functionally on a :class:`repro.core.memory.MemorySystem` and fed to
+the resource/performance models in :mod:`repro.dataflow` and :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.dataflow.lowering import CompiledProgram, lower_to_dataflow
+from repro.frontend import compile_source_to_ir
+from repro.ir import Module, PassManager
+from repro.ir.pass_manager import Pass
+from repro.passes.lower_views import LowerViewsPass
+from repro.passes.lower_iterators import LowerIteratorsPass
+from repro.passes.canonicalize import CanonicalizePass
+from repro.passes.if_to_select import IfToSelectPass
+from repro.passes.hierarchy_elimination import HierarchyEliminationPass
+from repro.passes.allocator_fusion import AllocatorFusionPass
+from repro.passes.allocator_hoisting import AllocatorHoistingPass
+from repro.passes.bufferize_replicate import BufferizeReplicatePass
+from repro.passes.subword_packing import SubwordPackingPass
+
+
+@dataclass
+class CompileOptions:
+    """Which optional optimization passes to run (Figure 12's knobs)."""
+
+    canonicalize: bool = True
+    hierarchy_elimination: bool = True
+    if_to_select: bool = True
+    allocator_fusion: bool = True
+    allocator_hoisting: bool = True
+    bufferize_replicate: bool = True
+    subword_packing: bool = True
+    verify_each: bool = True
+
+    @classmethod
+    def none(cls) -> "CompileOptions":
+        """Disable every optional optimization (lowering passes still run)."""
+        return cls(
+            canonicalize=False,
+            hierarchy_elimination=False,
+            if_to_select=False,
+            allocator_fusion=False,
+            allocator_hoisting=False,
+            bufferize_replicate=False,
+            subword_packing=False,
+        )
+
+    def disabled(self, *names: str) -> "CompileOptions":
+        """A copy of these options with the named passes turned off."""
+        options = CompileOptions(**vars(self))
+        for name in names:
+            if not hasattr(options, name):
+                raise ValueError(f"unknown optimization '{name}'")
+            setattr(options, name, False)
+        return options
+
+
+def build_pass_pipeline(options: Optional[CompileOptions] = None) -> PassManager:
+    """The high-level lowering + optimization pipeline (Figure 8, middle)."""
+    options = options or CompileOptions()
+    passes: List[Pass] = []
+    if options.canonicalize:
+        passes.append(CanonicalizePass())
+    passes.append(LowerViewsPass())
+    passes.append(LowerIteratorsPass())
+    if options.hierarchy_elimination:
+        passes.append(HierarchyEliminationPass())
+    if options.if_to_select:
+        passes.append(IfToSelectPass())
+    if options.allocator_fusion:
+        passes.append(AllocatorFusionPass())
+    if options.allocator_hoisting:
+        passes.append(AllocatorHoistingPass())
+    if options.bufferize_replicate:
+        passes.append(BufferizeReplicatePass())
+    if options.subword_packing:
+        passes.append(SubwordPackingPass())
+    if options.canonicalize:
+        passes.append(CanonicalizePass())
+    return PassManager(passes, verify_each=options.verify_each)
+
+
+def compile_ir(module: Module, function: str = "main",
+               options: Optional[CompileOptions] = None) -> CompiledProgram:
+    """Run the pass pipeline on an IR module and lower it to dataflow."""
+    pipeline = build_pass_pipeline(options)
+    pipeline.run(module)
+    return lower_to_dataflow(module, function)
+
+
+def compile_source(source: str, function: str = "main",
+                   options: Optional[CompileOptions] = None) -> CompiledProgram:
+    """Compile Revet source text end to end."""
+    module = compile_source_to_ir(source)
+    return compile_ir(module, function, options)

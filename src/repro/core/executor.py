@@ -1,0 +1,388 @@
+"""Functional streaming executor for structured dataflow graphs.
+
+The executor gives the *untimed* semantics of a compiled Revet program: it
+runs a :class:`repro.core.graph.DFGraph` to completion, node by node in
+topological order, using the streaming primitives of
+:mod:`repro.core.primitives`.  Region nodes (``while``, ``foreach``,
+``replicate``) are executed recursively; memory operations act on a shared
+:class:`repro.core.memory.MemorySystem`.
+
+The executor also gathers per-link statistics (element counts, barrier
+counts, trip counts) in an :class:`ExecutionProfile`.  The cycle-level
+performance model consumes this profile to derive throughput, which is how
+the paper's ``runtime = size / throughput + init`` evaluation model is
+reproduced without re-running token-level timing for full-size datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import primitives as prim
+from repro.core.graph import DFGraph, DFNode, OPCODES
+from repro.core.memory import MemorySystem
+from repro.core.sltf import Barrier, Data, Stream, Token, count_elements, encode
+from repro.errors import GraphError, PrimitiveError
+
+#: Associative reduction operators by name.
+REDUCE_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "add": lambda a, b: a + b,
+    "mul": lambda a, b: a * b,
+    "min": min,
+    "max": max,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "void": lambda a, b: 0,
+}
+
+
+@dataclass
+class LinkProfile:
+    """Dynamic statistics for one SLTF link."""
+
+    elements: int = 0
+    barriers: int = 0
+
+    def record(self, stream: Sequence[Token]) -> None:
+        self.elements += count_elements(stream)
+        self.barriers += sum(1 for t in stream if isinstance(t, Barrier))
+
+
+@dataclass
+class ExecutionProfile:
+    """Per-link and per-node statistics gathered by the executor."""
+
+    link_stats: Dict[str, LinkProfile] = field(default_factory=dict)
+    node_firings: Dict[str, int] = field(default_factory=dict)
+    loop_iterations: Dict[str, int] = field(default_factory=dict)
+
+    def record_link(self, name: str, stream: Sequence[Token]) -> None:
+        self.link_stats.setdefault(name, LinkProfile()).record(stream)
+
+    def record_firing(self, label: str, count: int = 1) -> None:
+        self.node_firings[label] = self.node_firings.get(label, 0) + count
+
+    def record_loop(self, label: str, iterations: int) -> None:
+        self.loop_iterations[label] = self.loop_iterations.get(label, 0) + iterations
+
+    def total_elements(self) -> int:
+        return sum(p.elements for p in self.link_stats.values())
+
+
+def _resolve_fn(fn: Any) -> Callable[..., Any]:
+    if callable(fn):
+        return fn
+    if isinstance(fn, str):
+        if fn not in OPCODES:
+            raise GraphError(f"unknown opcode '{fn}'")
+        return OPCODES[fn]
+    raise GraphError(f"compute node 'fn' must be a callable or opcode, got {fn!r}")
+
+
+def _resolve_reduce(op: Any) -> Callable[[Any, Any], Any]:
+    if callable(op):
+        return op
+    if isinstance(op, str) and op in REDUCE_OPS:
+        return REDUCE_OPS[op]
+    raise GraphError(f"unknown reduction op {op!r}")
+
+
+def zip_streams(*streams: Sequence[Token]) -> Stream:
+    """Combine parallel live-value streams into a stream of tuples."""
+    if len(streams) == 1:
+        return [Data((t.value,)) if isinstance(t, Data) else t for t in streams[0]]
+    return prim.elementwise(lambda *vals: tuple(vals), *streams)
+
+
+def unzip_stream(stream: Sequence[Token], width: int) -> List[Stream]:
+    """Split a stream of tuples back into ``width`` parallel streams."""
+    outs: List[Stream] = [[] for _ in range(width)]
+    for tok in stream:
+        if isinstance(tok, Barrier):
+            for out in outs:
+                out.append(tok)
+        else:
+            values = tok.value
+            if len(values) != width:
+                raise PrimitiveError(
+                    f"expected {width}-tuples in zipped stream, got {values!r}"
+                )
+            for i, out in enumerate(outs):
+                out.append(Data(values[i]))
+    return outs
+
+
+class Executor:
+    """Runs structured dataflow graphs with functional SLTF semantics."""
+
+    def __init__(
+        self,
+        graph: DFGraph,
+        memory: Optional[MemorySystem] = None,
+        max_loop_iterations: int = 1_000_000,
+    ):
+        self.graph = graph
+        self.memory = memory if memory is not None else MemorySystem()
+        self.max_loop_iterations = max_loop_iterations
+        self.profile = ExecutionProfile()
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, inputs: Optional[Dict[str, Any]] = None) -> Dict[str, Stream]:
+        """Execute the graph and return its output streams keyed by name.
+
+        ``inputs`` maps graph-input names to either token streams or nested
+        Python lists (which are encoded with :func:`repro.core.sltf.encode`
+        using rank 1 for flat lists).
+        """
+        inputs = inputs or {}
+        env: Dict[int, Stream] = {}
+        for value in self.graph.inputs:
+            if value.name not in inputs:
+                raise GraphError(f"missing input stream '{value.name}'")
+            env[value.uid] = _as_stream(inputs[value.name])
+        outputs = self._run_graph(self.graph, env)
+        return {v.name: outputs[v.uid] for v in self.graph.outputs}
+
+    # -- graph / node evaluation ---------------------------------------------
+
+    def _run_graph(self, graph: DFGraph, env: Dict[int, Stream]) -> Dict[int, Stream]:
+        for node in graph.topo_order():
+            in_streams = [env[v.uid] for v in node.inputs]
+            out_streams = self._run_node(node, in_streams)
+            if len(out_streams) != len(node.outputs):
+                raise GraphError(
+                    f"node {node!r} produced {len(out_streams)} streams, "
+                    f"expected {len(node.outputs)}"
+                )
+            for value, stream in zip(node.outputs, out_streams):
+                env[value.uid] = stream
+                self.profile.record_link(value.name, stream)
+        return env
+
+    def _run_subgraph(self, graph: DFGraph, inputs: Sequence[Stream]) -> List[Stream]:
+        if len(inputs) != len(graph.inputs):
+            raise GraphError(
+                f"region '{graph.name}' expects {len(graph.inputs)} inputs, "
+                f"got {len(inputs)}"
+            )
+        env: Dict[int, Stream] = {
+            v.uid: list(s) for v, s in zip(graph.inputs, inputs)
+        }
+        env = self._run_graph(graph, env)
+        return [env[v.uid] for v in graph.outputs]
+
+    def _run_node(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        handler = getattr(self, f"_op_{node.op}", None)
+        if handler is None:
+            raise GraphError(f"no executor handler for op '{node.op}'")
+        self.profile.record_firing(node.op)
+        return handler(node, ins)
+
+    # -- element-wise and structural ops --------------------------------------
+
+    def _op_compute(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        fn = _resolve_fn(node.params["fn"])
+        return [prim.elementwise(fn, *ins)]
+
+    def _op_const(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        return [prim.constant_like(ins[0], node.params["value"])]
+
+    def _op_broadcast(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        levels = node.params.get("levels", 1)
+        return [prim.broadcast(ins[0], ins[1], levels=levels)]
+
+    def _op_counter(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        return [prim.counter(ins[0], ins[1], ins[2])]
+
+    def _op_reduce(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        op = _resolve_reduce(node.params["op"])
+        init = node.params.get("init", 0)
+        level = node.params.get("level", 1)
+        return [prim.reduce_stream(op, init, ins[0], level=level)]
+
+    def _op_flatten(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        return [prim.flatten_stream(ins[0], levels=node.params.get("levels", 1))]
+
+    def _op_filter(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        pred = ins[-1]
+        return [prim.filter_stream(data, pred) for data in ins[:-1]]
+
+    def _op_forward_merge(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        width = node.params.get("width", 1)
+        a, b = ins[:width], ins[width:]
+        # Merge the bundles jointly so per-thread live values stay together.
+        merged = prim.forward_merge(zip_streams(*a), zip_streams(*b))
+        return unzip_stream(merged, width)
+
+    def _op_fork(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        counts = ins[0]
+        # First output: the per-child index (0 .. count-1 for each parent).
+        indices: Stream = []
+        for tok in counts:
+            if isinstance(tok, Barrier):
+                indices.append(tok)
+            else:
+                indices.extend(Data(i) for i in range(tok.value))
+        return [indices] + [prim.fork_stream(counts, data) for data in ins[1:]]
+
+    # -- memory ops -----------------------------------------------------------
+
+    def _op_sram_alloc(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        site = node.params.get("site", "default")
+        words = node.params.get("buffer_words", 64)
+        max_buffers = node.params.get("max_buffers", 4096)
+        trigger = ins[0] if ins else [Data(0), Barrier(1)]
+        out = prim.map_stream(
+            lambda _v: self.memory.sram_alloc(site, words, max_buffers), trigger
+        )
+        return [out]
+
+    def _op_sram_free(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        site = node.params.get("site", "default")
+
+        def do_free(ptr: Any) -> int:
+            self.memory.sram_free(site, ptr)
+            return 0
+
+        return [prim.map_stream(do_free, ins[0])]
+
+    def _op_sram_read(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        site = node.params.get("site", "default")
+        return [prim.map_stream(lambda addr: self.memory.sram_read(site, addr), ins[0])]
+
+    def _op_sram_write(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        site = node.params.get("site", "default")
+
+        def do_write(addr: Any, value: Any) -> int:
+            self.memory.sram_write(site, addr, value)
+            return 0
+
+        return [prim.elementwise(do_write, ins[0], ins[1])]
+
+    def _op_dram_read(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        return [prim.map_stream(self.memory.dram_read, ins[0])]
+
+    def _op_dram_write(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        def do_write(addr: Any, value: Any) -> int:
+            self.memory.dram_write(addr, value)
+            return 0
+
+        return [prim.elementwise(do_write, ins[0], ins[1])]
+
+    def _op_bulk_load(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        site = node.params.get("site", "default")
+        size = node.params["size"]
+
+        def do_load(dram_base: Any, sram_base: Any) -> int:
+            self.memory.bulk_load(site, dram_base, sram_base, size)
+            return 0
+
+        return [prim.elementwise(do_load, ins[0], ins[1])]
+
+    def _op_bulk_store(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        site = node.params.get("site", "default")
+        size = node.params["size"]
+
+        if len(ins) > 2:
+            # Dynamic count (bounded by the static tile size): used for the
+            # final partial flush of write iterators.
+            def do_store_counted(dram_base: Any, sram_base: Any, count: Any) -> int:
+                self.memory.bulk_store(site, dram_base, sram_base,
+                                       max(0, min(size, count)))
+                return 0
+
+            return [prim.elementwise(do_store_counted, ins[0], ins[1], ins[2])]
+
+        def do_store(dram_base: Any, sram_base: Any) -> int:
+            self.memory.bulk_store(site, dram_base, sram_base, size)
+            return 0
+
+        return [prim.elementwise(do_store, ins[0], ins[1])]
+
+    # -- region ops -------------------------------------------------------------
+
+    def _op_while(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        cond_region, body_region = node.regions
+        width = len(ins)
+        label = node.params.get("label", f"while#{node.uid}")
+        zipped = zip_streams(*ins)
+
+        def loop_body(live: Stream) -> Tuple[Stream, Stream]:
+            self.profile.record_loop(label, 1)
+            live_streams = unzip_stream(live, width)
+            cond = self._run_subgraph(cond_region, live_streams)[0]
+            not_cond = prim.map_stream(lambda p: not p, cond)
+            continuing = [prim.filter_stream(s, cond) for s in live_streams]
+            exiting = [prim.filter_stream(s, not_cond) for s in live_streams]
+            next_live = self._run_subgraph(body_region, continuing)
+            return zip_streams(*next_live), zip_streams(*exiting)
+
+        result = prim.forward_backward_loop(
+            zipped, loop_body, max_iterations=self.max_loop_iterations
+        )
+        return unzip_stream(result, width)
+
+    def _op_if(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        cond, live = ins[0], ins[1:]
+        then_region, else_region = node.regions
+        not_cond = prim.map_stream(lambda p: not p, cond)
+        taken = [prim.filter_stream(s, cond) for s in live]
+        fallthrough = [prim.filter_stream(s, not_cond) for s in live]
+        then_out = self._run_subgraph(then_region, taken)
+        else_out = self._run_subgraph(else_region, fallthrough)
+        width = len(node.outputs)
+        if width == 0:
+            return []
+        merged = prim.forward_merge(zip_streams(*then_out), zip_streams(*else_out))
+        return unzip_stream(merged, width)
+
+    def _op_foreach(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        lo, hi, step = ins[0], ins[1], ins[2]
+        live = ins[3:]
+        body = node.regions[0]
+        indices = prim.counter(lo, hi, step)
+        body_inputs = [indices] + [prim.broadcast(s, indices, levels=1) for s in live]
+        results = self._run_subgraph(body, body_inputs)
+        reduce_op = node.params.get("reduce_op")
+        if reduce_op is not None:
+            op = _resolve_reduce(reduce_op)
+            init = node.params.get("reduce_init", 0)
+            return [prim.reduce_stream(op, init, r, level=1) for r in results]
+        return [prim.flatten_stream(r, levels=1) for r in results]
+
+    def _op_replicate(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        # Functionally, a replicate region is a single copy of its body: the
+        # factor only affects spatial resource allocation and load balancing,
+        # which the performance model handles.  Thread order inside a barrier
+        # group is unordered, so running one copy is semantically equivalent.
+        body = node.regions[0]
+        return self._run_subgraph(body, ins)
+
+
+def _as_stream(value: Any) -> Stream:
+    """Coerce user-provided input (stream or nested list) into a stream."""
+    if isinstance(value, list) and value and isinstance(value[0], (Data, Barrier)):
+        return list(value)
+    if isinstance(value, list) and not value:
+        return []
+    if isinstance(value, list):
+        rank = 1
+        probe = value
+        while probe and isinstance(probe[0], list):
+            rank += 1
+            probe = probe[0]
+        return encode(value, ndim=rank)
+    raise GraphError(
+        "graph inputs must be token streams or (nested) lists of values"
+    )
+
+
+def run_graph(
+    graph: DFGraph,
+    inputs: Optional[Dict[str, Any]] = None,
+    memory: Optional[MemorySystem] = None,
+) -> Dict[str, Stream]:
+    """Convenience wrapper: build an :class:`Executor` and run it once."""
+    return Executor(graph, memory=memory).run(inputs)

@@ -1,0 +1,236 @@
+"""Functional memory system: DRAM segments and per-site SRAM pools.
+
+The executor and the cycle-level performance model share this component.
+DRAM is a flat word-addressed space carved into named segments (the Revet
+language's ``DRAM<T>`` symbols); SRAM is organized as *allocation sites*,
+each corresponding to one fused allocator in the compiled program
+(Section V-B(a)): a site hands out fixed-size buffers identified by small
+integer pointers, and reads/writes address ``ptr * buffer_size + offset``
+within the site's address space.
+
+All traffic is counted so the performance model can derive DRAM bandwidth
+utilization (Table IV's HBM2 columns) and the DRAM-bound throughput limits
+used for Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import MachineError
+
+
+@dataclass
+class MemoryStats:
+    """Traffic counters accumulated during execution."""
+
+    dram_reads: int = 0
+    dram_writes: int = 0
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+    #: Demand (non-bulk) word accesses; these pay per-access DRAM burst and
+    #: activation costs in the performance model.
+    dram_random_reads: int = 0
+    dram_random_writes: int = 0
+    bulk_loads: int = 0
+    bulk_stores: int = 0
+    sram_reads: int = 0
+    sram_writes: int = 0
+    allocations: int = 0
+    frees: int = 0
+
+    @property
+    def dram_total_bytes(self) -> int:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+@dataclass
+class DRAMSegment:
+    """A named region of the flat DRAM address space (word-addressed)."""
+
+    name: str
+    base: int
+    size: int
+    element_bytes: int = 4
+
+
+class AllocationSite:
+    """A fused on-chip allocator: a pool of fixed-size SRAM buffers."""
+
+    def __init__(self, name: str, buffer_words: int, max_buffers: int):
+        if buffer_words <= 0 or max_buffers <= 0:
+            raise MachineError("allocation site needs positive buffer size/count")
+        self.name = name
+        self.buffer_words = buffer_words
+        self.max_buffers = max_buffers
+        self.free_list: List[int] = list(range(max_buffers))
+        self.live: set = set()
+        self.high_water = 0
+        self.storage: Dict[int, int] = {}
+
+    def alloc(self) -> int:
+        if not self.free_list:
+            raise MachineError(
+                f"allocation site '{self.name}' exhausted "
+                f"({self.max_buffers} buffers of {self.buffer_words} words)"
+            )
+        ptr = self.free_list.pop(0)
+        self.live.add(ptr)
+        self.high_water = max(self.high_water, len(self.live))
+        return ptr
+
+    def free(self, ptr: int) -> None:
+        if ptr not in self.live:
+            raise MachineError(f"double free of pointer {ptr} at site '{self.name}'")
+        self.live.discard(ptr)
+        self.free_list.append(ptr)
+
+    def read(self, addr: int) -> int:
+        return self.storage.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        self.storage[addr] = value
+
+    @property
+    def words_in_use(self) -> int:
+        return self.high_water * self.buffer_words
+
+
+class MemorySystem:
+    """Shared DRAM + SRAM state for functional execution."""
+
+    def __init__(self, dram_element_bytes: int = 4):
+        self._dram: Dict[int, int] = {}
+        self._segments: Dict[str, DRAMSegment] = {}
+        self._next_base = 0
+        self._sites: Dict[str, AllocationSite] = {}
+        self._default_element_bytes = dram_element_bytes
+        self.stats = MemoryStats()
+
+    # -- DRAM segments -----------------------------------------------------
+
+    def dram_alloc(
+        self,
+        name: str,
+        size: Optional[int] = None,
+        data: Optional[Sequence[int]] = None,
+        element_bytes: Optional[int] = None,
+    ) -> DRAMSegment:
+        """Create a named DRAM segment, optionally initialized with data."""
+        if name in self._segments:
+            raise MachineError(f"DRAM segment '{name}' already exists")
+        if data is not None:
+            size = len(data) if size is None else size
+        if size is None or size < 0:
+            raise MachineError("DRAM segment needs a non-negative size")
+        seg = DRAMSegment(
+            name=name,
+            base=self._next_base,
+            size=size,
+            element_bytes=element_bytes or self._default_element_bytes,
+        )
+        self._segments[name] = seg
+        self._next_base += max(size, 1)
+        if data is not None:
+            for i, v in enumerate(data):
+                self._dram[seg.base + i] = int(v)
+        return seg
+
+    def segment(self, name: str) -> DRAMSegment:
+        if name not in self._segments:
+            raise MachineError(f"unknown DRAM segment '{name}'")
+        return self._segments[name]
+
+    def segment_data(self, name: str) -> List[int]:
+        """Read back a whole segment (for test assertions)."""
+        seg = self.segment(name)
+        return [self._dram.get(seg.base + i, 0) for i in range(seg.size)]
+
+    def _element_bytes_at(self, addr: int) -> int:
+        for seg in self._segments.values():
+            if seg.base <= addr < seg.base + max(seg.size, 1):
+                return seg.element_bytes
+        return self._default_element_bytes
+
+    def dram_read(self, addr: int) -> int:
+        self.stats.dram_reads += 1
+        self.stats.dram_random_reads += 1
+        self.stats.dram_read_bytes += self._element_bytes_at(int(addr))
+        return self._dram.get(int(addr), 0)
+
+    def dram_write(self, addr: int, value: int) -> None:
+        self.stats.dram_writes += 1
+        self.stats.dram_random_writes += 1
+        self.stats.dram_write_bytes += self._element_bytes_at(int(addr))
+        self._dram[int(addr)] = int(value)
+
+    def dram_peek(self, addr: int) -> int:
+        """Read without counting traffic (for assertions and debugging)."""
+        return self._dram.get(int(addr), 0)
+
+    # -- SRAM allocation sites ----------------------------------------------
+
+    def site(self, name: str, buffer_words: int = 64, max_buffers: int = 1024) -> AllocationSite:
+        """Get or create an allocation site."""
+        if name not in self._sites:
+            self._sites[name] = AllocationSite(name, buffer_words, max_buffers)
+        return self._sites[name]
+
+    def sites(self) -> Dict[str, AllocationSite]:
+        return dict(self._sites)
+
+    def sram_alloc(self, site_name: str, buffer_words: int = 64, max_buffers: int = 1024) -> int:
+        self.stats.allocations += 1
+        return self.site(site_name, buffer_words, max_buffers).alloc()
+
+    def sram_free(self, site_name: str, ptr: int) -> None:
+        self.stats.frees += 1
+        self.site(site_name).free(int(ptr))
+
+    def sram_read(self, site_name: str, addr: int) -> int:
+        self.stats.sram_reads += 1
+        return self.site(site_name).read(int(addr))
+
+    def sram_write(self, site_name: str, addr: int, value: int) -> None:
+        self.stats.sram_writes += 1
+        self.site(site_name).write(int(addr), int(value))
+
+    # -- bulk transfers ------------------------------------------------------
+
+    def bulk_load(self, site_name: str, dram_base: int, sram_base: int, size: int) -> None:
+        """DRAM -> SRAM tile transfer (an AG-driven burst)."""
+        self.stats.bulk_loads += 1
+        site = self.site(site_name)
+        elem = self._element_bytes_at(int(dram_base))
+        self.stats.dram_reads += size
+        self.stats.dram_read_bytes += size * elem
+        for i in range(size):
+            site.write(int(sram_base) + i, self._dram.get(int(dram_base) + i, 0))
+
+    def bulk_store(self, site_name: str, dram_base: int, sram_base: int, size: int) -> None:
+        """SRAM -> DRAM tile transfer."""
+        self.stats.bulk_stores += 1
+        site = self.site(site_name)
+        elem = self._element_bytes_at(int(dram_base))
+        self.stats.dram_writes += size
+        self.stats.dram_write_bytes += size * elem
+        for i in range(size):
+            self._dram[int(dram_base) + i] = site.read(int(sram_base) + i)
+
+    # -- convenience ---------------------------------------------------------
+
+    def load_bytes(self, name: str, payload: bytes) -> DRAMSegment:
+        """Store a byte string as a char segment (one byte per word)."""
+        return self.dram_alloc(name, data=list(payload), element_bytes=1)
+
+    def read_bytes(self, name: str, start: int = 0, length: Optional[int] = None) -> bytes:
+        seg = self.segment(name)
+        length = seg.size - start if length is None else length
+        return bytes(
+            self._dram.get(seg.base + start + i, 0) & 0xFF for i in range(length)
+        )

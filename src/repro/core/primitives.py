@@ -1,0 +1,424 @@
+"""Streaming tensor primitives (paper Section III-B).
+
+These are the functional (untimed) semantics of the primitives a Revet
+machine provides on SLTF links:
+
+* element-wise operations,
+* expansion (broadcast and counters), reduction, and flattening,
+* filtering and forward merging (acyclic subgraphs, i.e. ``if``),
+* forward-backward merging (cyclic subgraphs, i.e. ``while``).
+
+Each primitive obeys the SLTF composability constraints:
+
+1. every barrier that enters a primitive exits it exactly once, in order;
+2. thread data is not reordered with respect to barriers (reordering is only
+   allowed between barriers).
+
+The functions here operate on complete token streams (Python lists); the
+cycle-level simulator in :mod:`repro.sim` re-implements the same behaviour
+with per-cycle bandwidth and buffering.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import PrimitiveError
+from repro.core.sltf import (
+    Barrier,
+    Data,
+    Stream,
+    Token,
+    is_barrier,
+    is_data,
+    lower_barriers,
+)
+
+# ---------------------------------------------------------------------------
+# Element-wise operations
+# ---------------------------------------------------------------------------
+
+
+def elementwise(fn: Callable[..., Any], *streams: Sequence[Token]) -> Stream:
+    """Apply ``fn`` across the aligned data elements of parallel streams.
+
+    All input streams must carry the same thread structure (same data count
+    and identical barrier placement); this is what "parallel tensors carrying
+    the live variables of the same threads" means in the paper.
+    """
+    if not streams:
+        raise PrimitiveError("elementwise requires at least one input stream")
+    iters = [iter(s) for s in streams]
+    out: Stream = []
+    while True:
+        toks = []
+        exhausted = 0
+        for it in iters:
+            try:
+                toks.append(next(it))
+            except StopIteration:
+                exhausted += 1
+                toks.append(None)
+        if exhausted == len(iters):
+            break
+        if exhausted:
+            raise PrimitiveError("element-wise inputs have different lengths")
+        if all(isinstance(t, Barrier) for t in toks):
+            levels = {t.level for t in toks}
+            if len(levels) != 1:
+                raise PrimitiveError(
+                    f"element-wise inputs have mismatched barrier levels: {toks}"
+                )
+            out.append(Barrier(toks[0].level))
+        elif all(isinstance(t, Data) for t in toks):
+            out.append(Data(fn(*(t.value for t in toks))))
+        else:
+            raise PrimitiveError(f"element-wise inputs misaligned at {toks}")
+    return out
+
+
+def map_stream(fn: Callable[[Any], Any], stream: Sequence[Token]) -> Stream:
+    """Apply a unary function to every data element of a stream."""
+    return [Data(fn(t.value)) if isinstance(t, Data) else t for t in stream]
+
+
+def constant_like(stream: Sequence[Token], value: Any) -> Stream:
+    """Produce a stream with the same structure as ``stream`` but constant data."""
+    return [Data(value) if isinstance(t, Data) else t for t in stream]
+
+
+# ---------------------------------------------------------------------------
+# Expansion, reduction, and flattening
+# ---------------------------------------------------------------------------
+
+
+def broadcast(outer: Sequence[Token], inner: Sequence[Token], levels: int = 1) -> Stream:
+    """Repeat each element of ``outer`` across the lowest dim(s) of ``inner``.
+
+    ``outer`` is a k-D stream and ``inner`` a (k+levels)-D stream; the result
+    has the structure of ``inner`` with data drawn from ``outer``.  This is
+    the scalar-to-vector broadcast used when a parent thread's live value is
+    shared by all its children (paper Sections III-B(b) and III-C).
+    """
+    if levels < 1:
+        raise PrimitiveError("broadcast requires levels >= 1")
+    out: Stream = []
+    outer_iter = iter(outer)
+    current: Optional[Data] = None
+    have_current = False
+
+    def advance() -> None:
+        nonlocal current, have_current
+        current = None
+        have_current = False
+        for tok in outer_iter:
+            if isinstance(tok, Data):
+                current = tok
+                have_current = True
+                return
+            # Barriers on the outer link are consumed when the matching
+            # higher-level barrier arrives on the inner link; we simply skip
+            # them here because the inner stream carries the full structure.
+        have_current = False
+
+    advance()
+    for tok in inner:
+        if isinstance(tok, Data):
+            if not have_current:
+                raise PrimitiveError("broadcast ran out of outer elements")
+            out.append(Data(current.value))
+        else:
+            out.append(Barrier(tok.level))
+            if tok.level >= levels:
+                # The group corresponding to the current outer element ended.
+                advance()
+    return out
+
+
+def counter(
+    min_stream: Sequence[Token],
+    max_stream: Sequence[Token],
+    step_stream: Sequence[Token],
+) -> Stream:
+    """Expand k-D (min, max, step) streams into a (k+1)-D iteration stream.
+
+    Every (min, max, step) triple becomes the sequence
+    ``min, min+step, ... < max`` terminated by a level-1 barrier; existing
+    barriers are raised by one level.
+    """
+    out: Stream = []
+    zipped = elementwise(lambda a, b, c: (a, b, c), min_stream, max_stream, step_stream)
+    for tok in zipped:
+        if isinstance(tok, Data):
+            lo, hi, step = tok.value
+            if step == 0:
+                raise PrimitiveError("counter step must be non-zero")
+            value = lo
+            while (step > 0 and value < hi) or (step < 0 and value > hi):
+                out.append(Data(value))
+                value += step
+            # The level-1 barrier is kept explicit (one group per parent
+            # thread); canonical compression is a link-level concern.
+            out.append(Barrier(1))
+        else:
+            out.append(Barrier(tok.level + 1))
+    return out
+
+
+def reduce_stream(
+    op: Callable[[Any, Any], Any], init: Any, stream: Sequence[Token], level: int = 1
+) -> Stream:
+    """Reduce the lowest ``level`` dimension(s) of a stream with ``op``.
+
+    Every group terminated by a barrier of exactly ``level`` produces one
+    output element (the ``init`` value for empty groups — this is the
+    empty-tensor composability requirement from Section III-A).  Barriers of
+    higher levels are lowered by ``level``.
+    """
+    if level < 1:
+        raise PrimitiveError("reduce level must be >= 1")
+    out: Stream = []
+    acc = init
+    pending = False
+    for tok in stream:
+        if isinstance(tok, Data):
+            acc = op(acc, tok.value)
+            pending = True
+        elif tok.level <= level:
+            # An explicit barrier at (or below) the reduce level always
+            # terminates a group, even an empty one: empty groups must still
+            # yield the initial value (Section III-A composability).
+            out.append(Data(acc))
+            acc = init
+            pending = False
+        else:
+            # A higher barrier implicitly closes a pending non-empty group.
+            if pending:
+                out.append(Data(acc))
+                acc = init
+                pending = False
+            out.append(Barrier(tok.level - level))
+    return out
+
+
+def flatten_stream(stream: Sequence[Token], levels: int = 1) -> Stream:
+    """Remove ``levels`` levels of hierarchy, keeping data untouched."""
+    return lower_barriers(stream, by=levels)
+
+
+def fork_stream(counts: Sequence[Token], payload: Sequence[Token]) -> Stream:
+    """Duplicate each thread ``count`` times *without* adding hierarchy.
+
+    ``counts`` and ``payload`` are parallel streams; each payload element is
+    repeated ``count`` times in place.  Barriers pass through unmodified.
+    This implements the expansion half of a ``fork`` (expansion + flattening).
+    """
+    out: Stream = []
+    for tok in elementwise(lambda n, v: (n, v), counts, payload):
+        if isinstance(tok, Data):
+            n, value = tok.value
+            if n < 0:
+                raise PrimitiveError(f"fork count must be >= 0, got {n}")
+            out.extend(Data(value) for _ in range(n))
+        else:
+            out.append(tok)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Acyclic subgraphs: filtering & forward merging
+# ---------------------------------------------------------------------------
+
+
+def filter_stream(data: Sequence[Token], predicate: Sequence[Token]) -> Stream:
+    """Keep only the elements whose predicate is truthy; pass barriers through."""
+    out: Stream = []
+    for tok, keep in zip(data, predicate):
+        if isinstance(tok, Barrier):
+            if not isinstance(keep, Barrier) or keep.level != tok.level:
+                raise PrimitiveError("filter predicate misaligned with data")
+            out.append(tok)
+        else:
+            if isinstance(keep, Barrier):
+                raise PrimitiveError("filter predicate misaligned with data")
+            if keep.value:
+                out.append(tok)
+    if len(data) != len(predicate):
+        raise PrimitiveError("filter data and predicate have different lengths")
+    return out
+
+
+def partition_stream(
+    data: Sequence[Token], predicate: Sequence[Token]
+) -> Tuple[Stream, Stream]:
+    """Split a stream into (true-branch, false-branch) streams.
+
+    Both outputs keep all barriers, so each branch of an ``if`` sees the same
+    control structure (paper Figure 3).
+    """
+    negated = map_stream(lambda p: not p, predicate)
+    return filter_stream(data, predicate), filter_stream(data, negated)
+
+
+def forward_merge(a: Sequence[Token], b: Sequence[Token]) -> Stream:
+    """Merge two streams at the lowest dimension (the join after an ``if``).
+
+    Data elements from both inputs within one barrier group are interleaved
+    (here: ``a``'s elements then ``b``'s); when a barrier is reached on one
+    input, that input stalls until an equal barrier arrives on the other,
+    and a single barrier is emitted.  Threads therefore never cross barriers.
+    """
+    out: Stream = []
+    ia, ib = 0, 0
+    while ia < len(a) or ib < len(b):
+        # Drain data from a until its next barrier.
+        while ia < len(a) and isinstance(a[ia], Data):
+            out.append(a[ia])
+            ia += 1
+        while ib < len(b) and isinstance(b[ib], Data):
+            out.append(b[ib])
+            ib += 1
+        if ia >= len(a) and ib >= len(b):
+            break
+        if ia >= len(a) or ib >= len(b):
+            raise PrimitiveError("forward merge inputs have mismatched barriers")
+        bar_a, bar_b = a[ia], b[ib]
+        if bar_a.level != bar_b.level:
+            raise PrimitiveError(
+                f"forward merge barrier mismatch: {bar_a} vs {bar_b}"
+            )
+        out.append(Barrier(bar_a.level))
+        ia += 1
+        ib += 1
+    return out
+
+
+def merge_many(streams: Sequence[Sequence[Token]]) -> Stream:
+    """Merge any number of streams with a tree of forward merges."""
+    if not streams:
+        raise PrimitiveError("merge_many requires at least one stream")
+    result = list(streams[0])
+    for other in streams[1:]:
+        result = forward_merge(result, other)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Cyclic subgraphs: forward-backward merging (while loops)
+# ---------------------------------------------------------------------------
+
+
+def forward_backward_loop(
+    stream: Sequence[Token],
+    body: Callable[[Stream], Tuple[Stream, Stream]],
+    max_iterations: int = 1_000_000,
+) -> Stream:
+    """Run a natural loop over each barrier group of ``stream``.
+
+    ``body`` receives a 1-D stream of live thread states (terminated by a
+    level-1 barrier) and must return ``(recirculate, exit)`` streams, both
+    terminated by a level-1 barrier.  The forward-backward merge at the loop
+    header admits one barrier group at a time, iterates the threads until the
+    loop body is empty (two consecutive level-1 barriers on the backedge),
+    and then emits the exited threads followed by the group's barrier.
+
+    This matches the paper's Figure 4 semantics: barriers inside the loop are
+    raised by one level and restored on exit, so loops compose with other
+    primitives (including nested loops inside ``body``).
+    """
+    out: Stream = []
+    group: List[Data] = []
+    for tok in stream:
+        if isinstance(tok, Data):
+            group.append(tok)
+            continue
+        # A barrier terminates the current group: iterate it to completion.
+        live: Stream = [Data(t.value) for t in group] + [Barrier(1)]
+        group = []
+        exited_all: Stream = []
+        iterations = 0
+        while True:
+            recirc, exited = body(live)
+            exited_all.extend(t for t in exited if isinstance(t, Data))
+            recirc_data = [t for t in recirc if isinstance(t, Data)]
+            if not recirc_data:
+                break
+            live = recirc_data + [Barrier(1)]
+            iterations += 1
+            if iterations > max_iterations:
+                raise PrimitiveError(
+                    "forward-backward loop exceeded max_iterations; "
+                    "possible livelock in loop body"
+                )
+        out.extend(exited_all)
+        out.append(Barrier(tok.level))
+    if group:
+        raise PrimitiveError("forward-backward loop input missing final barrier")
+    return out
+
+
+def while_loop(
+    stream: Sequence[Token],
+    condition: Callable[[Any], bool],
+    step: Callable[[Any], Any],
+    max_iterations: int = 1_000_000,
+) -> Stream:
+    """Convenience wrapper: a while loop over per-thread state values.
+
+    Each thread's state is tested with ``condition``; while true the state is
+    advanced with ``step``.  The final states are emitted in completion order
+    within each barrier group (threads are unordered inside a group).
+    """
+
+    def body(live: Stream) -> Tuple[Stream, Stream]:
+        recirc: Stream = []
+        exited: Stream = []
+        for tok in live:
+            if isinstance(tok, Barrier):
+                recirc.append(Barrier(1))
+                exited.append(Barrier(1))
+                break
+            state = tok.value
+            if condition(state):
+                recirc.append(Data(step(state)))
+            else:
+                exited.append(Data(state))
+        return recirc, exited
+
+    return forward_backward_loop(stream, body, max_iterations=max_iterations)
+
+
+# ---------------------------------------------------------------------------
+# foreach: expansion/reduction pair
+# ---------------------------------------------------------------------------
+
+
+def foreach(
+    stream: Sequence[Token],
+    trip_counts: Callable[[Any], Iterable[Any]],
+    body: Callable[[Stream], Stream],
+    reduce_op: Optional[Callable[[Any, Any], Any]] = None,
+    reduce_init: Any = 0,
+) -> Stream:
+    """A foreach block: expansion, body, and reduction or flattening.
+
+    ``trip_counts(parent_value)`` yields the child iteration values for one
+    parent thread; ``body`` runs element-wise-composable code on the expanded
+    (k+1)-D stream.  If ``reduce_op`` is given the children are reduced back
+    to one value per parent; otherwise the children are flattened into the
+    parent dimension (a ``fork``-like expansion).
+    """
+    expanded: Stream = []
+    for tok in stream:
+        if isinstance(tok, Data):
+            emitted = False
+            for child in trip_counts(tok.value):
+                expanded.append(Data(child))
+                emitted = True
+            expanded.append(Barrier(1))
+        else:
+            expanded.append(Barrier(tok.level + 1))
+    result = body(expanded)
+    if reduce_op is not None:
+        return reduce_stream(reduce_op, reduce_init, result, level=1)
+    return flatten_stream(result, levels=1)

@@ -1,0 +1,5 @@
+"""Control-flow to dataflow lowering and dataflow-level analyses."""
+
+from repro.dataflow.lowering import CompiledProgram, DataflowLowering, lower_to_dataflow
+
+__all__ = ["CompiledProgram", "DataflowLowering", "lower_to_dataflow"]

@@ -1,0 +1,559 @@
+"""Control-flow to dataflow lowering (paper Section V-C).
+
+This stage converts the optimized structured IR (``scf`` + ``arith`` +
+``memref`` + physical ``revet`` ops) into a structured dataflow graph
+(:class:`repro.core.graph.DFGraph`):
+
+* straight-line arithmetic becomes element-wise ``compute`` nodes over SLTF
+  links,
+* ``scf.if`` / ``scf.while`` / ``revet.foreach`` / ``revet.replicate`` become
+  the corresponding region nodes (filter + forward merge, forward-backward
+  merge, counter expansion + barrier, and work distribution respectively),
+* ``revet.fork`` duplicates every live link in place; the
+  ``if (cond) { exit(); }`` idiom becomes a thread filter on every live link,
+* memory ops become per-thread SRAM allocations and integer-addressed
+  accesses (the "MemRefs to Integers" convention: ``addr = ptr * size + i``).
+
+Values defined outside a region but used inside it are passed explicitly as
+region inputs (the flattening stage later turns them into scalar-network
+broadcasts), so the resulting graph is closed under each region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.executor import Executor
+from repro.core.graph import DFGraph, DFNode, DFValue
+from repro.core.machine import LinkKind
+from repro.core.memory import MemorySystem
+from repro.errors import LoweringError
+from repro.ir import Module, Operation, Value
+from repro.ir.dialects.arith import BINOP_TO_OPCODE, CMP_TO_OPCODE
+
+#: arith cast ops are width annotations only; data lanes are 32-bit.
+CAST_OPS = {"arith.extsi", "arith.extui", "arith.trunci"}
+
+
+@dataclass
+class MemRefInfo:
+    """Lowered form of one ``memref.alloc``: an allocation-site pointer."""
+
+    site: str
+    size: int
+    ptr: DFValue
+
+
+class _Scope:
+    """Per-region lowering state: the IR-value to DF-link mapping."""
+
+    def __init__(self, graph: DFGraph, struct_ref: DFValue):
+        self.graph = graph
+        self.values: Dict[int, DFValue] = {}
+        self.memrefs: Dict[int, MemRefInfo] = {}
+        #: Any live link at this nesting level, used to align constants.
+        self.struct_ref = struct_ref
+
+    def bind(self, ir_value: Value, df_value: DFValue) -> None:
+        self.values[id(ir_value)] = df_value
+
+    def bind_memref(self, ir_value: Value, info: MemRefInfo) -> None:
+        self.memrefs[id(ir_value)] = info
+        self.values[id(ir_value)] = info.ptr
+
+    def lookup(self, ir_value: Value) -> DFValue:
+        df = self.values.get(id(ir_value))
+        if df is None:
+            raise LoweringError(
+                f"IR value %{ir_value.name} has no dataflow mapping (missing capture?)"
+            )
+        return df
+
+    def lookup_memref(self, ir_value: Value) -> MemRefInfo:
+        info = self.memrefs.get(id(ir_value))
+        if info is None:
+            raise LoweringError(
+                f"IR value %{ir_value.name} is not a lowered memref in this scope"
+            )
+        return info
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled Revet program: the dataflow graph plus its input contract."""
+
+    graph: DFGraph
+    module: Module
+    arg_names: List[str]
+    dram_names: List[str]
+    pragmas: List[str] = field(default_factory=list)
+
+    def run(self, memory: MemorySystem, *, profile: bool = False, **args: int):
+        """Execute the program on ``memory`` with scalar arguments ``args``.
+
+        DRAM globals must already be allocated in ``memory`` under their
+        declared names; their base addresses are wired into the graph inputs
+        automatically.  Returns the executor (so callers can inspect the
+        profile) when ``profile`` is True, otherwise the output streams.
+        """
+        inputs: Dict[str, Any] = {}
+        for name in self.arg_names:
+            if name not in args:
+                raise LoweringError(f"missing program argument '{name}'")
+            inputs[name] = [args[name]]
+        for name in self.dram_names:
+            inputs[f"__dram_{name}"] = [memory.segment(name).base]
+        executor = Executor(self.graph, memory=memory)
+        outputs = executor.run(inputs)
+        return executor if profile else outputs
+
+
+class DataflowLowering:
+    """Lowers one function of an IR module to a structured dataflow graph."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._site_counter = 0
+
+    # -- public API ---------------------------------------------------------------
+
+    def lower_function(self, name: str = "main") -> CompiledProgram:
+        func_op = self.module.function(name)
+        entry = func_op.region(0).entry
+        graph = DFGraph(name)
+
+        arg_names = [arg.name for arg in entry.args]
+        dram_names = [g.attrs["sym_name"] for g in self.module.globals()]
+        pragmas = [op.attrs["name"] for op in self.module.walk()
+                   if op.name == "revet.pragma"]
+
+        scope = _Scope(graph, struct_ref=None)
+        for arg in entry.args:
+            df = graph.add_input(arg.name, kind=LinkKind.SCALAR)
+            scope.bind(arg, df)
+            if scope.struct_ref is None:
+                scope.struct_ref = df
+        self._dram_inputs: Dict[str, DFValue] = {}
+        for dram in dram_names:
+            self._dram_inputs[dram] = graph.add_input(f"__dram_{dram}",
+                                                      kind=LinkKind.SCALAR)
+        if scope.struct_ref is None:
+            scope.struct_ref = graph.add_input("__start", kind=LinkKind.SCALAR)
+            arg_names.append("__start")
+
+        self._lower_block(entry, graph, scope)
+        graph.set_outputs([])
+        graph.verify()
+        return CompiledProgram(graph=graph, module=self.module, arg_names=arg_names,
+                               dram_names=dram_names, pragmas=pragmas)
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _fresh_site(self, hint: str) -> str:
+        self._site_counter += 1
+        return f"{hint}_{self._site_counter}"
+
+    def _const(self, graph: DFGraph, scope: _Scope, value: int, name: str = "c") -> DFValue:
+        node = graph.add_node("const", [scope.struct_ref], params={"value": value},
+                              name=name)
+        return node.outputs[0]
+
+    def _compute(self, graph: DFGraph, opcode: str, inputs: Sequence[DFValue],
+                 name: str = "t") -> DFValue:
+        node = graph.add_node("compute", list(inputs), params={"fn": opcode}, name=name)
+        return node.outputs[0]
+
+    @staticmethod
+    def _external_uses(op: Operation) -> List[Value]:
+        """IR values used inside ``op``'s regions but defined outside them."""
+        inside_defs: Set[int] = set()
+        for nested in op.walk():
+            if nested is op:
+                continue
+            for result in nested.results:
+                inside_defs.add(id(result))
+            for region in nested.regions:
+                for block in region.blocks:
+                    for arg in block.args:
+                        inside_defs.add(id(arg))
+        for region in op.regions:
+            for block in region.blocks:
+                for arg in block.args:
+                    inside_defs.add(id(arg))
+        external: List[Value] = []
+        seen: Set[int] = set()
+        for nested in op.walk():
+            if nested is op:
+                continue
+            for operand in nested.operands:
+                if id(operand) in inside_defs or id(operand) in seen:
+                    continue
+                seen.add(id(operand))
+                external.append(operand)
+        return external
+
+    def _is_exit_guard(self, op: Operation) -> bool:
+        """Recognize the ``if (cond) { exit(); }`` thread-termination idiom."""
+        if op.name != "scf.if" or op.results:
+            return False
+        then_ops = op.region(0).entry.operations
+        has_exit = any(o.name == "revet.exit" for o in then_ops)
+        only_trivial = all(o.name in ("revet.exit", "scf.yield") for o in then_ops)
+        else_ops = op.region(1).entry.operations if len(op.regions) > 1 else []
+        else_trivial = all(o.name == "scf.yield" for o in else_ops)
+        return has_exit and only_trivial and else_trivial
+
+    # -- block lowering ------------------------------------------------------------------
+
+    def _lower_block(self, block, graph: DFGraph, scope: _Scope) -> None:
+        for op in list(block.operations):
+            self._lower_op(op, graph, scope)
+
+    def _lower_op(self, op: Operation, graph: DFGraph, scope: _Scope) -> None:
+        name = op.name
+        if name == "arith.constant":
+            scope.bind(op.result(), self._const(graph, scope, op.attrs["value"],
+                                                 name=op.result().name))
+        elif name in BINOP_TO_OPCODE:
+            inputs = [scope.lookup(v) for v in op.operands]
+            scope.bind(op.result(), self._compute(graph, BINOP_TO_OPCODE[name], inputs,
+                                                  name=op.result().name))
+        elif name == "arith.cmpi":
+            opcode = CMP_TO_OPCODE[op.attrs["predicate"]]
+            inputs = [scope.lookup(v) for v in op.operands]
+            scope.bind(op.result(), self._compute(graph, opcode, inputs,
+                                                  name=op.result().name))
+        elif name == "arith.select":
+            inputs = [scope.lookup(v) for v in op.operands]
+            scope.bind(op.result(), self._compute(graph, "select", inputs,
+                                                  name=op.result().name))
+        elif name in CAST_OPS:
+            scope.bind(op.result(), scope.lookup(op.operand(0)))
+        elif name == "revet.dram_ref":
+            scope.bind(op.result(), self._dram_inputs[op.attrs["name"]])
+        elif name == "memref.alloc":
+            self._lower_alloc(op, graph, scope)
+        elif name == "memref.dealloc":
+            info = scope.lookup_memref(op.operand(0))
+            graph.add_node("sram_free", [info.ptr], params={"site": info.site},
+                           name=f"free_{info.site}")
+        elif name == "memref.load":
+            addr = self._memref_addr(op.operand(0), op.operand(1), graph, scope)
+            info = scope.lookup_memref(op.operand(0))
+            node = graph.add_node("sram_read", [addr], params={"site": info.site},
+                                  name=op.result().name)
+            scope.bind(op.result(), node.outputs[0])
+        elif name == "memref.store":
+            addr = self._memref_addr(op.operand(1), op.operand(2), graph, scope)
+            info = scope.lookup_memref(op.operand(1))
+            graph.add_node("sram_write", [addr, scope.lookup(op.operand(0))],
+                           params={"site": info.site}, name=f"st_{info.site}")
+        elif name == "revet.dram_load":
+            addr = self._compute(graph, "add", [scope.lookup(op.operand(0)),
+                                                scope.lookup(op.operand(1))], name="daddr")
+            node = graph.add_node("dram_read", [addr], name=op.result().name)
+            scope.bind(op.result(), node.outputs[0])
+        elif name == "revet.dram_store":
+            addr = self._compute(graph, "add", [scope.lookup(op.operand(0)),
+                                                scope.lookup(op.operand(1))], name="daddr")
+            graph.add_node("dram_write", [addr, scope.lookup(op.operand(2))], name="dstore")
+        elif name == "revet.bulk_load":
+            self._lower_bulk(op, graph, scope, store=False)
+        elif name == "revet.bulk_store":
+            self._lower_bulk(op, graph, scope, store=True)
+        elif name == "scf.if":
+            if self._is_exit_guard(op):
+                self._lower_exit_guard(op, graph, scope)
+            else:
+                self._lower_if(op, graph, scope)
+        elif name == "scf.while":
+            self._lower_while(op, graph, scope)
+        elif name == "revet.foreach":
+            self._lower_foreach(op, graph, scope)
+        elif name == "revet.replicate":
+            self._lower_replicate(op, graph, scope)
+        elif name == "revet.fork":
+            self._lower_fork(op, graph, scope)
+        elif name == "revet.exit":
+            # A bare exit terminates every thread reaching this point.
+            false = self._const(graph, scope, 0, name="dead")
+            self._filter_scope(graph, scope, false)
+        elif name in ("revet.pragma", "func.return", "scf.yield", "revet.yield",
+                      "scf.condition"):
+            pass  # structural / handled by the enclosing region lowering
+        else:
+            raise LoweringError(f"cannot lower op '{name}' to dataflow")
+
+    # -- memory ------------------------------------------------------------------------
+
+    def _lower_alloc(self, op: Operation, graph: DFGraph, scope: _Scope) -> None:
+        size = op.result().type.size
+        site = op.attrs.get("site") or self._fresh_site(op.attrs.get("name", "buf"))
+        node = graph.add_node(
+            "sram_alloc",
+            [scope.struct_ref],
+            params={"site": site, "buffer_words": size,
+                    "max_buffers": op.attrs.get("max_buffers", 1 << 20)},
+            name=f"ptr_{site}",
+        )
+        scope.bind_memref(op.result(), MemRefInfo(site=site, size=size,
+                                                  ptr=node.outputs[0]))
+
+    def _memref_addr(self, buf: Value, index: Value, graph: DFGraph,
+                     scope: _Scope) -> DFValue:
+        """addr = ptr * buffer_size + index (the memref-to-integer convention)."""
+        info = scope.lookup_memref(buf)
+        size_c = self._const(graph, scope, info.size, name="bufsz")
+        base = self._compute(graph, "mul", [info.ptr, size_c], name="bufbase")
+        return self._compute(graph, "add", [base, scope.lookup(index)], name="addr")
+
+    def _lower_bulk(self, op: Operation, graph: DFGraph, scope: _Scope,
+                    store: bool) -> None:
+        dram, offset, buf = op.operands[0], op.operands[1], op.operands[2]
+        info = scope.lookup_memref(buf)
+        dram_addr = self._compute(graph, "add", [scope.lookup(dram),
+                                                 scope.lookup(offset)], name="dbase")
+        size_c = self._const(graph, scope, info.size, name="bufsz")
+        sram_addr = self._compute(graph, "mul", [info.ptr, size_c], name="sbase")
+        inputs = [dram_addr, sram_addr]
+        if store and len(op.operands) > 3:
+            inputs.append(scope.lookup(op.operands[3]))
+        graph.add_node("bulk_store" if store else "bulk_load", inputs,
+                       params={"site": info.site, "size": op.attrs["size"]},
+                       name="bulk")
+
+    # -- thread management ----------------------------------------------------------------
+
+    def _filter_scope(self, graph: DFGraph, scope: _Scope, keep: DFValue) -> None:
+        """Filter every live link in the current scope by ``keep``."""
+        live_ids = list(scope.values.keys())
+        live_vals = []
+        seen: Set[int] = set()
+        for vid in live_ids:
+            df = scope.values[vid]
+            if df.uid not in seen:
+                seen.add(df.uid)
+                live_vals.append((vid, df))
+        unique_dfs = [df for _, df in live_vals]
+        node = graph.add_node("filter", unique_dfs + [keep],
+                              num_outputs=len(unique_dfs), name="alive")
+        replacement = {df.uid: out for df, out in zip(unique_dfs, node.outputs)}
+        for vid in live_ids:
+            scope.values[vid] = replacement[scope.values[vid].uid]
+        for info in scope.memrefs.values():
+            info.ptr = replacement.get(info.ptr.uid, info.ptr)
+        scope.struct_ref = replacement.get(scope.struct_ref.uid, node.outputs[0])
+
+    def _lower_exit_guard(self, op: Operation, graph: DFGraph, scope: _Scope) -> None:
+        cond = scope.lookup(op.operand(0))
+        keep = self._compute(graph, "not", [cond], name="keep")
+        self._filter_scope(graph, scope, keep)
+
+    def _lower_fork(self, op: Operation, graph: DFGraph, scope: _Scope) -> None:
+        count = scope.lookup(op.operand(0))
+        live_ids = list(scope.values.keys())
+        unique: List[DFValue] = []
+        seen: Set[int] = set()
+        for vid in live_ids:
+            df = scope.values[vid]
+            if df.uid not in seen:
+                seen.add(df.uid)
+                unique.append(df)
+        node = graph.add_node("fork", [count] + unique, num_outputs=1 + len(unique),
+                              name="fork")
+        index = node.outputs[0]
+        replacement = {df.uid: out for df, out in zip(unique, node.outputs[1:])}
+        for vid in live_ids:
+            scope.values[vid] = replacement[scope.values[vid].uid]
+        for info in scope.memrefs.values():
+            info.ptr = replacement.get(info.ptr.uid, info.ptr)
+        scope.struct_ref = index
+        scope.bind(op.result(), index)
+
+    # -- structured control flow -------------------------------------------------------------
+
+    def _region_scope(self, region_graph: DFGraph, ir_args: Sequence[Value],
+                      df_inputs: Sequence[DFValue], parent_scope: _Scope,
+                      captured: Sequence[Value], captured_inputs: Sequence[DFValue],
+                      struct_ref: DFValue) -> _Scope:
+        scope = _Scope(region_graph, struct_ref)
+        for ir_val, df_val in zip(ir_args, df_inputs):
+            scope.bind(ir_val, df_val)
+        for ir_val, df_val in zip(captured, captured_inputs):
+            scope.bind(ir_val, df_val)
+            if id(ir_val) in parent_scope.memrefs:
+                info = parent_scope.memrefs[id(ir_val)]
+                scope.bind_memref(ir_val, MemRefInfo(site=info.site, size=info.size,
+                                                     ptr=df_val))
+        return scope
+
+    def _unique_live(self, scope: _Scope) -> List[DFValue]:
+        """All distinct live links in a scope, in first-binding order."""
+        unique: List[DFValue] = []
+        seen: Set[int] = set()
+        for df in scope.values.values():
+            if df.uid not in seen:
+                seen.add(df.uid)
+                unique.append(df)
+        return unique
+
+    def _rebind_scope(self, scope: _Scope, originals: Sequence[DFValue],
+                      replacements: Sequence[DFValue]) -> None:
+        """Replace every binding of ``originals[i]`` with ``replacements[i]``."""
+        mapping = {o.uid: r for o, r in zip(originals, replacements)}
+        for key, df in list(scope.values.items()):
+            scope.values[key] = mapping.get(df.uid, df)
+        for info in scope.memrefs.values():
+            info.ptr = mapping.get(info.ptr.uid, info.ptr)
+        scope.struct_ref = mapping.get(scope.struct_ref.uid, scope.struct_ref)
+
+    def _outline_region(self, region_block, name: str, scope: _Scope,
+                        node_inputs: Sequence[DFValue], captured: Sequence[Value],
+                        arg_bindings: Sequence[Tuple[Value, int]]):
+        """Outline an IR block into a region graph taking ``node_inputs``.
+
+        ``arg_bindings`` maps IR block arguments to node-input positions;
+        ``captured`` IR values are bound to the input holding their current
+        link.  Every input is also tracked under a synthetic key so that
+        forks/filters inside the region keep passthrough streams aligned.
+        """
+        sub = DFGraph(name)
+        inputs = [sub.add_input(df.name or f"live{i}")
+                  for i, df in enumerate(node_inputs)]
+        sub_scope = _Scope(sub, inputs[0])
+        pos_by_uid: Dict[int, int] = {}
+        for i, df in enumerate(node_inputs):
+            pos_by_uid.setdefault(df.uid, i)
+        for ir_val, pos in arg_bindings:
+            sub_scope.bind(ir_val, inputs[pos])
+        for ir_val in captured:
+            df = scope.lookup(ir_val)
+            input_df = inputs[pos_by_uid[df.uid]]
+            sub_scope.bind(ir_val, input_df)
+            if id(ir_val) in scope.memrefs:
+                info = scope.memrefs[id(ir_val)]
+                sub_scope.bind_memref(ir_val, MemRefInfo(site=info.site, size=info.size,
+                                                         ptr=input_df))
+        for i, df in enumerate(inputs):
+            sub_scope.values[-(i + 1)] = df
+        self._lower_block(region_block, sub, sub_scope)
+        return sub, sub_scope, inputs
+
+    def _passthrough(self, sub_scope: _Scope, start: int, count: int) -> List[DFValue]:
+        """Current links for node-input positions ``start .. count-1``."""
+        return [sub_scope.values[-(i + 1)] for i in range(start, count)]
+
+    def _lower_if(self, op: Operation, graph: DFGraph, scope: _Scope) -> None:
+        cond = scope.lookup(op.operand(0))
+        live = self._unique_live(scope)
+        captured = self._external_uses(op)
+
+        regions = []
+        for idx, region in enumerate(op.regions):
+            name = f"{graph.name}.if{op.uid}.{'then' if idx == 0 else 'else'}"
+            sub, sub_scope, _ = self._outline_region(region.entry, name, scope, live,
+                                                     captured, [])
+            terminator = region.entry.terminator
+            yields = (terminator.operands if terminator is not None
+                      and terminator.name == "scf.yield" else [])
+            sub.set_outputs([sub_scope.lookup(v) for v in yields]
+                            + self._passthrough(sub_scope, 0, len(live)))
+            regions.append(sub)
+
+        node = graph.add_node("if", [cond] + live,
+                              num_outputs=len(op.results) + len(live),
+                              regions=regions, name=f"if{op.uid}")
+        for result, out in zip(op.results, node.outputs):
+            scope.bind(result, out)
+        self._rebind_scope(scope, live, node.outputs[len(op.results):])
+
+    def _lower_while(self, op: Operation, graph: DFGraph, scope: _Scope) -> None:
+        inits = [scope.lookup(v) for v in op.operands]
+        init_uids = {df.uid for df in inits}
+        rest = [df for df in self._unique_live(scope) if df.uid not in init_uids]
+        node_inputs = inits + rest
+        captured = self._external_uses(op)
+        before, after = op.region(0).entry, op.region(1).entry
+
+        cond_term = before.terminator
+        if cond_term is None or cond_term.name != "scf.condition":
+            raise LoweringError("scf.while before-region must end in scf.condition")
+
+        # Condition region: computes the loop predicate from the live values.
+        cond_graph, cond_scope, _ = self._outline_region(
+            before, f"{graph.name}.while{op.uid}.cond", scope, node_inputs, captured,
+            [(arg, i) for i, arg in enumerate(before.args)])
+        cond_graph.set_outputs([cond_scope.lookup(cond_term.operand(0))])
+
+        # Body region: computes the next carried values; the rest pass through.
+        body_graph, body_scope, _ = self._outline_region(
+            after, f"{graph.name}.while{op.uid}.body", scope, node_inputs, captured,
+            [(arg, i) for i, arg in enumerate(after.args)])
+        yields = [body_scope.lookup(v) for v in after.terminator.operands]
+        body_graph.set_outputs(yields + self._passthrough(body_scope, len(inits),
+                                                          len(node_inputs)))
+
+        node = graph.add_node("while", node_inputs, num_outputs=len(node_inputs),
+                              regions=[cond_graph, body_graph], name=f"while{op.uid}",
+                              params={"label": f"while{op.uid}"})
+        for result, out in zip(op.results, node.outputs[: len(op.operands)]):
+            scope.bind(result, out)
+        self._rebind_scope(scope, node_inputs, node.outputs)
+
+    def _lower_foreach(self, op: Operation, graph: DFGraph, scope: _Scope) -> None:
+        count = scope.lookup(op.operand(0))
+        step = scope.lookup(op.operand(1))
+        zero = self._const(graph, scope, 0, name="zero")
+        captured = self._external_uses(op)
+        cap_dfs = [scope.lookup(v) for v in captured]
+
+        body = op.region(0).entry
+        body_graph = DFGraph(f"{graph.name}.foreach{op.uid}")
+        index_input = body_graph.add_input(body.args[0].name or "i")
+        cap_inputs = [body_graph.add_input(v.name or f"cap{i}")
+                      for i, v in enumerate(captured)]
+        body_scope = self._region_scope(body_graph, [body.args[0]], [index_input],
+                                        scope, captured, cap_inputs, index_input)
+        self._lower_block(body, body_graph, body_scope)
+        terminator = body.terminator
+        yields = (terminator.operands if terminator is not None
+                  and terminator.name == "revet.yield" else [])
+        body_graph.set_outputs([body_scope.lookup(v) for v in yields])
+
+        reduce_op = op.attrs.get("reduce")
+        params = {}
+        if reduce_op:
+            params = {"reduce_op": reduce_op, "reduce_init": 0}
+        node = graph.add_node("foreach", [zero, count, step] + cap_dfs,
+                              num_outputs=len(op.results), regions=[body_graph],
+                              params=params, name=f"foreach{op.uid}")
+        for result, out in zip(op.results, node.outputs):
+            scope.bind(result, out)
+
+    def _lower_replicate(self, op: Operation, graph: DFGraph, scope: _Scope) -> None:
+        live = self._unique_live(scope)
+        captured = self._external_uses(op)
+        body = op.region(0).entry
+
+        body_graph, body_scope, _ = self._outline_region(
+            body, f"{graph.name}.replicate{op.uid}", scope, live, captured, [])
+        terminator = body.terminator
+        yields = (terminator.operands if terminator is not None
+                  and terminator.name == "revet.yield" else [])
+        body_graph.set_outputs([body_scope.lookup(v) for v in yields]
+                               + self._passthrough(body_scope, 0, len(live)))
+
+        node = graph.add_node("replicate", live,
+                              num_outputs=len(op.results) + len(live),
+                              regions=[body_graph],
+                              params={"factor": op.attrs.get("factor", 1)},
+                              name=f"replicate{op.uid}")
+        for result, out in zip(op.results, node.outputs):
+            scope.bind(result, out)
+        self._rebind_scope(scope, live, node.outputs[len(op.results):])
+
+
+def lower_to_dataflow(module: Module, function: str = "main") -> CompiledProgram:
+    """Lower one function of an IR module to a dataflow program."""
+    return DataflowLowering(module).lower_function(function)

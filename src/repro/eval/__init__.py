@@ -1,0 +1,27 @@
+"""Experiment harness: regenerates every table and figure in the evaluation."""
+
+from repro.eval.tables import (
+    format_rows,
+    table3_applications,
+    table4_resources,
+    table5_performance,
+    table5_summary,
+)
+from repro.eval.figures import (
+    aurochs_comparison,
+    fig12_optimization_impact,
+    fig13_hierarchy_removal,
+    fig14_load_balancing,
+)
+
+__all__ = [
+    "format_rows",
+    "table3_applications",
+    "table4_resources",
+    "table5_performance",
+    "table5_summary",
+    "fig12_optimization_impact",
+    "fig13_hierarchy_removal",
+    "fig14_load_balancing",
+    "aurochs_comparison",
+]

@@ -1,0 +1,9 @@
+"""Front-end lowering: Revet AST to the mixed scf/revet IR."""
+
+from repro.frontend.lowering import (
+    FrontendLowering,
+    compile_source_to_ir,
+    lower_program,
+)
+
+__all__ = ["FrontendLowering", "compile_source_to_ir", "lower_program"]

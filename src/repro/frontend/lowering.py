@@ -1,0 +1,496 @@
+"""AST to IR lowering ("Parse & Convert Types" in Figure 8).
+
+The lowering produces a module mixing the ``scf``, ``arith``, ``memref`` and
+``revet`` dialects:
+
+* mutable local variables become SSA values; variables assigned inside
+  ``if``/``while``/``replicate`` regions become region results or
+  loop-carried values (structured mem2reg),
+* views and iterators stay as high-level ``revet`` ops (they are lowered to
+  physical memory by the pass pipeline),
+* ``foreach``/``replicate``/``fork``/``exit`` become their ``revet`` ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import LoweringError, SemanticError
+from repro.ir import Builder, I1, I32, IntType, Module, Operation, Value
+from repro.ir.dialects import arith, func, memref, revet, scf
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.lang.semantics import check
+
+#: Revet binary operators mapped to arith ops (comparisons handled apart).
+BINOP_MAP = {
+    "+": "addi",
+    "-": "subi",
+    "*": "muli",
+    "/": "divsi",
+    "%": "remsi",
+    "&": "andi",
+    "|": "ori",
+    "^": "xori",
+    "<<": "shli",
+    ">>": "shrui",
+}
+
+CMP_MAP = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle", ">": "sgt", ">=": "sge"}
+
+
+@dataclass
+class SymbolEntry:
+    """One name visible during lowering."""
+
+    kind: str  # 'scalar', 'sram', 'view', 'iterator', 'dram'
+    value: Optional[Value] = None
+    detail: str = ""       # adapter kind or scalar type name
+    width: int = 32
+
+
+class SymbolTable:
+    """A chained mutable-variable environment used for structured mem2reg."""
+
+    def __init__(self, parent: Optional["SymbolTable"] = None):
+        self.parent = parent
+        self.entries: Dict[str, SymbolEntry] = {}
+
+    def declare(self, name: str, entry: SymbolEntry) -> None:
+        self.entries[name] = entry
+
+    def lookup(self, name: str) -> Optional[SymbolEntry]:
+        table: Optional[SymbolTable] = self
+        while table is not None:
+            if name in table.entries:
+                return table.entries[name]
+            table = table.parent
+        return None
+
+    def assign(self, name: str, value: Value) -> None:
+        """Rebind a scalar, updating the table that declared it."""
+        table: Optional[SymbolTable] = self
+        while table is not None:
+            if name in table.entries:
+                table.entries[name].value = value
+                return
+            table = table.parent
+        raise LoweringError(f"assignment to undeclared variable '{name}'")
+
+    def child(self, shadow: Sequence[str] = ()) -> "SymbolTable":
+        """Create a nested scope, optionally shadowing some outer scalars.
+
+        Shadowed names get their own entry in the child, so assignments made
+        while lowering a region body do not leak into the enclosing scope;
+        the region lowering merges them back explicitly (as region results or
+        loop-carried values).
+        """
+        table = SymbolTable(parent=self)
+        for name in shadow:
+            entry = self.lookup(name)
+            if entry is not None:
+                table.declare(name, SymbolEntry(entry.kind, entry.value,
+                                                entry.detail, entry.width))
+        return table
+
+    def snapshot(self, names: Sequence[str]) -> List[Value]:
+        return [self.lookup(n).value for n in names]
+
+
+def assigned_scalars(block: ast.Block, table: SymbolTable) -> List[str]:
+    """Names assigned in ``block`` that refer to scalars declared outside it."""
+    declared: Set[str] = set()
+    assigned: List[str] = []
+
+    def visit_stmt(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            declared.add(stmt.name)
+        elif isinstance(stmt, (ast.SramDecl, ast.ViewDecl, ast.IteratorDecl)):
+            declared.add(stmt.name)
+        elif isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.VarRef):
+            record(stmt.target.name)
+        elif isinstance(stmt, ast.IncrDecr) and isinstance(stmt.target, ast.VarRef):
+            record(stmt.target.name)
+        elif isinstance(stmt, ast.IfStmt):
+            visit_block(stmt.then_block)
+            if stmt.else_block:
+                visit_block(stmt.else_block)
+        elif isinstance(stmt, ast.WhileStmt):
+            visit_block(stmt.body)
+        elif isinstance(stmt, (ast.ForeachStmt, ast.ReplicateStmt)):
+            visit_block(stmt.body)
+        elif isinstance(stmt, ast.Block):
+            visit_block(stmt)
+
+    def record(name: str) -> None:
+        if name in declared or name in assigned:
+            return
+        entry = table.lookup(name)
+        if entry is not None and entry.kind == "scalar":
+            assigned.append(name)
+
+    def visit_block(blk: Optional[ast.Block]) -> None:
+        if blk is None:
+            return
+        for stmt in blk.statements:
+            visit_stmt(stmt)
+
+    visit_block(block)
+    return assigned
+
+
+class FrontendLowering:
+    """Lowers a checked Revet program into an IR module."""
+
+    def __init__(self, program: ast.Program, module_name: str = "revet"):
+        self.program = program
+        self.module = Module(module_name)
+        self.analysis = check(program)
+        self._dram_widths: Dict[str, int] = {}
+
+    def lower(self) -> Module:
+        for dram in self.program.drams:
+            width = dram.element.width or 32
+            self._dram_widths[dram.name] = width
+            revet.dram_global(self.module, dram.name, element_width=width)
+        for fn in self.program.functions:
+            self._lower_function(fn)
+        return self.module
+
+    # -- functions -------------------------------------------------------------
+
+    def _lower_function(self, fn: ast.Function) -> Operation:
+        arg_types = [IntType(p.type.width or 32) for p in fn.params]
+        func_op = func.func(self.module, fn.name, arg_types,
+                            arg_names=[p.name for p in fn.params])
+        entry = func.entry_block(func_op)
+        builder = Builder()
+        builder.set_insertion_point_to_end(entry)
+        table = SymbolTable()
+        for param, value in zip(fn.params, entry.args):
+            table.declare(param.name, SymbolEntry("scalar", value, param.type.name,
+                                                  param.type.width or 32))
+        for dram in self.program.drams:
+            handle = revet.dram_ref(builder, dram.name,
+                                    element_width=self._dram_widths[dram.name])
+            table.declare(dram.name, SymbolEntry("dram", handle, dram.element.name,
+                                                 self._dram_widths[dram.name]))
+        self._lower_block(fn.body, builder, table)
+        func.ret(builder)
+        return func_op
+
+    # -- statements ------------------------------------------------------------------
+
+    def _lower_block(self, block: ast.Block, builder: Builder, table: SymbolTable) -> None:
+        for stmt in block.statements:
+            self._lower_stmt(stmt, builder, table)
+
+    def _lower_stmt(self, stmt: ast.Stmt, builder: Builder, table: SymbolTable) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self._lower_var_decl(stmt, builder, table)
+        elif isinstance(stmt, ast.SramDecl):
+            buf = memref.alloc(builder, stmt.size, name=stmt.name)
+            table.declare(stmt.name, SymbolEntry("sram", buf, "SRAM"))
+        elif isinstance(stmt, ast.ViewDecl):
+            self._lower_view_decl(stmt, builder, table)
+        elif isinstance(stmt, ast.IteratorDecl):
+            self._lower_iterator_decl(stmt, builder, table)
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt, builder, table)
+        elif isinstance(stmt, ast.IncrDecr):
+            self._lower_incr(stmt, builder, table)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr(stmt.expr, builder, table)
+        elif isinstance(stmt, ast.IfStmt):
+            self._lower_if(stmt, builder, table)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._lower_while(stmt, builder, table)
+        elif isinstance(stmt, ast.ForeachStmt):
+            self._lower_foreach(stmt, builder, table)
+        elif isinstance(stmt, ast.ReplicateStmt):
+            self._lower_replicate(stmt, builder, table)
+        elif isinstance(stmt, ast.PragmaStmt):
+            revet.pragma(builder, stmt.name)
+        elif isinstance(stmt, ast.ExitStmt):
+            builder.create("revet.exit", [], [])
+        elif isinstance(stmt, ast.ReturnStmt):
+            pass  # main() returns nothing; results flow through DRAM stores
+        elif isinstance(stmt, ast.FlushStmt):
+            entry = table.lookup(stmt.iterator)
+            revet.it_flush(builder, entry.value)
+        elif isinstance(stmt, ast.Block):
+            self._lower_block(stmt, builder, table.child())
+        else:  # pragma: no cover - defensive
+            raise LoweringError(f"cannot lower statement {type(stmt).__name__}")
+
+    def _lower_var_decl(self, stmt: ast.VarDecl, builder: Builder, table: SymbolTable) -> None:
+        width = stmt.type.width or 32
+        if stmt.init is not None:
+            value = self._lower_expr(stmt.init, builder, table)
+        else:
+            value = arith.constant(builder, 0, IntType(width if width in (8, 16, 32, 64) else 32))
+        value.name = stmt.name if value.owner is not None else value.name
+        table.declare(stmt.name, SymbolEntry("scalar", value, stmt.type.name, width))
+
+    def _lower_view_decl(self, stmt: ast.ViewDecl, builder: Builder, table: SymbolTable) -> None:
+        dram_entry = table.lookup(stmt.dram)
+        base = self._lower_expr(stmt.base, builder, table)
+        handle = revet.view_new(builder, stmt.kind, stmt.size, dram_entry.value, base,
+                                element_width=dram_entry.width)
+        table.declare(stmt.name, SymbolEntry("view", handle, stmt.kind, dram_entry.width))
+
+    def _lower_iterator_decl(self, stmt: ast.IteratorDecl, builder: Builder,
+                             table: SymbolTable) -> None:
+        dram_entry = table.lookup(stmt.dram)
+        seek = self._lower_expr(stmt.seek, builder, table)
+        handle = revet.it_new(builder, stmt.kind, stmt.tile, dram_entry.value, seek,
+                              element_width=dram_entry.width)
+        table.declare(stmt.name, SymbolEntry("iterator", handle, stmt.kind, dram_entry.width))
+
+    def _lower_assign(self, stmt: ast.Assign, builder: Builder, table: SymbolTable) -> None:
+        value_expr = stmt.value
+        if stmt.op != "=":
+            # Desugar compound assignment: x += e  ->  x = x + e.
+            value_expr = ast.BinaryOp(line=stmt.line, op=stmt.op[:-1],
+                                      lhs=stmt.target, rhs=stmt.value)
+        value = self._lower_expr(value_expr, builder, table)
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            table.assign(target.name, value)
+            return
+        if isinstance(target, ast.IndexExpr):
+            entry = table.lookup(target.base)
+            index = self._lower_expr(target.index, builder, table)
+            if entry.kind == "sram":
+                memref.store(builder, value, entry.value, index)
+            elif entry.kind == "view":
+                revet.view_store(builder, entry.value, index, value)
+            elif entry.kind == "dram":
+                revet.dram_store(builder, entry.value, index, value,
+                                 element_width=entry.width)
+            else:
+                raise LoweringError(f"cannot store through '{target.base}'")
+            return
+        if isinstance(target, ast.UnaryOp) and target.op == "*":
+            entry = table.lookup(target.operand.name)
+            revet.it_put(builder, entry.value, value)
+            return
+        raise LoweringError("unsupported assignment target")
+
+    def _lower_incr(self, stmt: ast.IncrDecr, builder: Builder, table: SymbolTable) -> None:
+        target = stmt.target
+        entry = table.lookup(target.name)
+        if entry.kind == "iterator":
+            revet.it_advance(builder, entry.value)
+            return
+        one = arith.constant(builder, abs(stmt.delta))
+        op = "addi" if stmt.delta > 0 else "subi"
+        new_value = arith.binary(builder, op, entry.value, one)
+        new_value.name = target.name
+        table.assign(target.name, new_value)
+
+    def _lower_if(self, stmt: ast.IfStmt, builder: Builder, table: SymbolTable) -> None:
+        cond = self._to_bool(self._lower_expr(stmt.cond, builder, table), builder)
+        carried = assigned_scalars(stmt.then_block, table)
+        if stmt.else_block is not None:
+            for name in assigned_scalars(stmt.else_block, table):
+                if name not in carried:
+                    carried.append(name)
+        result_types = [table.lookup(n).value.type for n in carried]
+        if_op = scf.if_(builder, cond, result_types)
+
+        then_builder = Builder()
+        then_builder.set_insertion_point_to_end(scf.then_block(if_op))
+        then_table = table.child(shadow=carried)
+        self._lower_block(stmt.then_block, then_builder, then_table)
+        scf.yield_(then_builder, then_table.snapshot(carried))
+
+        else_builder = Builder()
+        else_builder.set_insertion_point_to_end(scf.else_block(if_op))
+        else_table = table.child(shadow=carried)
+        if stmt.else_block is not None:
+            self._lower_block(stmt.else_block, else_builder, else_table)
+        scf.yield_(else_builder, else_table.snapshot(carried))
+
+        for name, result in zip(carried, if_op.results):
+            result.name = name
+            table.assign(name, result)
+
+    def _lower_while(self, stmt: ast.WhileStmt, builder: Builder, table: SymbolTable) -> None:
+        carried = assigned_scalars(stmt.body, table)
+        inits = table.snapshot(carried)
+        loop = scf.while_(builder, inits)
+        before, after = scf.before_block(loop), scf.after_block(loop)
+
+        before_builder = Builder()
+        before_builder.set_insertion_point_to_end(before)
+        before_table = table.child()
+        for name, arg in zip(carried, before.args):
+            arg.name = name + "_in"
+            before_table.declare(name, SymbolEntry("scalar", arg,
+                                                   table.lookup(name).detail,
+                                                   table.lookup(name).width))
+        cond = self._to_bool(self._lower_expr(stmt.cond, before_builder, before_table),
+                             before_builder)
+        scf.condition(before_builder, cond, list(before.args))
+
+        after_builder = Builder()
+        after_builder.set_insertion_point_to_end(after)
+        after_table = table.child()
+        for name, arg in zip(carried, after.args):
+            arg.name = name + "_iter"
+            after_table.declare(name, SymbolEntry("scalar", arg,
+                                                  table.lookup(name).detail,
+                                                  table.lookup(name).width))
+        self._lower_block(stmt.body, after_builder, after_table)
+        scf.yield_(after_builder, after_table.snapshot(carried))
+
+        for name, result in zip(carried, loop.results):
+            result.name = name
+            table.assign(name, result)
+
+    def _lower_foreach(self, stmt: ast.ForeachStmt, builder: Builder,
+                       table: SymbolTable) -> None:
+        count = self._lower_expr(stmt.count, builder, table)
+        step = (self._lower_expr(stmt.step, builder, table)
+                if stmt.step is not None else arith.constant(builder, 1))
+        fe = revet.foreach(builder, count, step, index_name=stmt.index_name)
+        body_builder = Builder()
+        body_builder.set_insertion_point_to_end(fe.region(0).entry)
+        # Threads get a read-only view of the parent's variables; shadow any
+        # assigned outer scalars so writes stay local to the thread body.
+        body_table = table.child(shadow=assigned_scalars(stmt.body, table))
+        index = fe.region(0).entry.args[0]
+        index.name = stmt.index_name
+        body_table.declare(stmt.index_name,
+                           SymbolEntry("scalar", index, stmt.index_type.name,
+                                       stmt.index_type.width or 32))
+        self._lower_block(stmt.body, body_builder, body_table)
+        revet.yield_(body_builder)
+
+    def _lower_replicate(self, stmt: ast.ReplicateStmt, builder: Builder,
+                         table: SymbolTable) -> None:
+        carried = assigned_scalars(stmt.body, table)
+        result_types = [table.lookup(n).value.type for n in carried]
+        rep = revet.replicate(builder, stmt.factor, result_types)
+        body_builder = Builder()
+        body_builder.set_insertion_point_to_end(rep.region(0).entry)
+        body_table = table.child(shadow=carried)
+        self._lower_block(stmt.body, body_builder, body_table)
+        revet.yield_(body_builder, body_table.snapshot(carried))
+        for name, result in zip(carried, rep.results):
+            result.name = name
+            table.assign(name, result)
+
+    # -- expressions ---------------------------------------------------------------------
+
+    def _lower_expr(self, expr: ast.Expr, builder: Builder, table: SymbolTable) -> Value:
+        if isinstance(expr, ast.IntLiteral):
+            return arith.constant(builder, expr.value)
+        if isinstance(expr, ast.BoolLiteral):
+            return arith.constant(builder, int(expr.value), I1)
+        if isinstance(expr, ast.StringLiteral):
+            raise LoweringError(
+                "string literals are not directly loadable; stage them in DRAM"
+            )
+        if isinstance(expr, ast.VarRef):
+            entry = table.lookup(expr.name)
+            if entry is None:
+                raise LoweringError(f"use of undeclared name '{expr.name}'")
+            return entry.value
+        if isinstance(expr, ast.BinaryOp):
+            return self._lower_binary(expr, builder, table)
+        if isinstance(expr, ast.UnaryOp):
+            return self._lower_unary(expr, builder, table)
+        if isinstance(expr, ast.IndexExpr):
+            return self._lower_index_read(expr, builder, table)
+        if isinstance(expr, ast.TernaryExpr):
+            cond = self._to_bool(self._lower_expr(expr.cond, builder, table), builder)
+            a = self._lower_expr(expr.then_value, builder, table)
+            b = self._lower_expr(expr.else_value, builder, table)
+            return arith.select(builder, cond, a, b)
+        if isinstance(expr, ast.CallExpr):
+            return self._lower_call(expr, builder, table)
+        raise LoweringError(f"cannot lower expression {type(expr).__name__}")
+
+    def _lower_binary(self, expr: ast.BinaryOp, builder: Builder, table: SymbolTable) -> Value:
+        if expr.op in ("&&", "||"):
+            lhs = self._to_bool(self._lower_expr(expr.lhs, builder, table), builder)
+            rhs = self._to_bool(self._lower_expr(expr.rhs, builder, table), builder)
+            name = "andi" if expr.op == "&&" else "ori"
+            return arith.binary(builder, name, lhs, rhs, I1)
+        lhs = self._lower_expr(expr.lhs, builder, table)
+        rhs = self._lower_expr(expr.rhs, builder, table)
+        if expr.op in CMP_MAP:
+            return arith.cmpi(builder, CMP_MAP[expr.op], lhs, rhs)
+        if expr.op in BINOP_MAP:
+            return arith.binary(builder, BINOP_MAP[expr.op], lhs, rhs)
+        raise LoweringError(f"unsupported binary operator '{expr.op}'")
+
+    def _lower_unary(self, expr: ast.UnaryOp, builder: Builder, table: SymbolTable) -> Value:
+        if expr.op == "*":
+            entry = table.lookup(expr.operand.name)
+            if entry is None or entry.kind != "iterator":
+                raise LoweringError("'*' expects an iterator")
+            return revet.it_deref(builder, entry.value)
+        operand = self._lower_expr(expr.operand, builder, table)
+        if expr.op == "-":
+            zero = arith.constant(builder, 0)
+            return arith.binary(builder, "subi", zero, operand)
+        if expr.op == "!":
+            zero = arith.constant(builder, 0)
+            return arith.cmpi(builder, "eq", operand, zero)
+        if expr.op == "~":
+            minus_one = arith.constant(builder, -1)
+            return arith.binary(builder, "xori", operand, minus_one)
+        raise LoweringError(f"unsupported unary operator '{expr.op}'")
+
+    def _lower_index_read(self, expr: ast.IndexExpr, builder: Builder,
+                          table: SymbolTable) -> Value:
+        entry = table.lookup(expr.base)
+        index = self._lower_expr(expr.index, builder, table)
+        if entry.kind == "sram":
+            return memref.load(builder, entry.value, index)
+        if entry.kind == "view":
+            return revet.view_load(builder, entry.value, index)
+        if entry.kind == "dram":
+            return revet.dram_load(builder, entry.value, index, element_width=entry.width)
+        raise LoweringError(f"'{expr.base}' is not readable by indexing")
+
+    def _lower_call(self, expr: ast.CallExpr, builder: Builder, table: SymbolTable) -> Value:
+        if expr.callee == "fork":
+            count = self._lower_expr(expr.args[0], builder, table)
+            return revet.fork(builder, count)
+        if expr.callee == "peek":
+            entry = table.lookup(expr.args[0].name)
+            offset = self._lower_expr(expr.args[1], builder, table)
+            return revet.it_peek(builder, entry.value, offset)
+        if expr.callee in ("min", "max"):
+            lhs = self._lower_expr(expr.args[0], builder, table)
+            rhs = self._lower_expr(expr.args[1], builder, table)
+            return arith.binary(builder, "minsi" if expr.callee == "min" else "maxsi",
+                                lhs, rhs)
+        if expr.callee == "abs":
+            value = self._lower_expr(expr.args[0], builder, table)
+            zero = arith.constant(builder, 0)
+            neg = arith.binary(builder, "subi", zero, value)
+            is_neg = arith.cmpi(builder, "slt", value, zero)
+            return arith.select(builder, is_neg, neg, value)
+        raise LoweringError(f"unsupported call '{expr.callee}'")
+
+    def _to_bool(self, value: Value, builder: Builder) -> Value:
+        if value.type == I1:
+            return value
+        zero = arith.constant(builder, 0, value.type)
+        return arith.cmpi(builder, "ne", value, zero)
+
+
+def lower_program(program: ast.Program, module_name: str = "revet") -> Module:
+    """Lower a parsed program to an IR module."""
+    return FrontendLowering(program, module_name).lower()
+
+
+def compile_source_to_ir(source: str, module_name: str = "revet") -> Module:
+    """Parse, check, and lower Revet source text to an IR module."""
+    return lower_program(parse(source), module_name)

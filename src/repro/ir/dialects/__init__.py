@@ -1,0 +1,7 @@
+"""IR dialects: op name constants, constructor helpers, and op metadata."""
+
+from repro.ir.dialects import arith, func, memref, revet, scf
+from repro.ir.dialects.registry import OP_INFO, OpInfo, is_terminator, op_info
+
+__all__ = ["arith", "func", "memref", "revet", "scf", "OP_INFO", "OpInfo",
+           "is_terminator", "op_info"]

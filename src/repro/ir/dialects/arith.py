@@ -1,0 +1,94 @@
+"""``arith`` dialect: integer arithmetic, comparisons, selects, and casts."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import IRError
+from repro.ir.builder import Builder
+from repro.ir.core import I1, I32, IntType, Operation, Type, Value
+
+#: Comparison predicates accepted by ``arith.cmpi``.
+CMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge")
+
+#: Map arith binary op names to the dataflow opcode used after lowering.
+BINOP_TO_OPCODE = {
+    "arith.addi": "add",
+    "arith.subi": "sub",
+    "arith.muli": "mul",
+    "arith.divsi": "div",
+    "arith.remsi": "rem",
+    "arith.andi": "and",
+    "arith.ori": "or",
+    "arith.xori": "xor",
+    "arith.shli": "shl",
+    "arith.shrui": "shr",
+    "arith.shrsi": "ashr",
+    "arith.minsi": "min",
+    "arith.maxsi": "max",
+}
+
+CMP_TO_OPCODE = {
+    "eq": "eq",
+    "ne": "ne",
+    "slt": "lt",
+    "sle": "le",
+    "sgt": "gt",
+    "sge": "ge",
+    "ult": "lt",
+    "ule": "le",
+    "ugt": "gt",
+    "uge": "ge",
+}
+
+
+def constant(builder: Builder, value: int, type: Optional[Type] = None) -> Value:
+    """Create an ``arith.constant``."""
+    op = builder.create("arith.constant", [], [type or I32], {"value": value})
+    return op.result()
+
+
+def binary(builder: Builder, name: str, lhs: Value, rhs: Value,
+           type: Optional[Type] = None) -> Value:
+    """Create a binary arithmetic op (``name`` like ``"addi"``)."""
+    full = f"arith.{name}"
+    if full not in BINOP_TO_OPCODE:
+        raise IRError(f"unknown arith binary op '{name}'")
+    op = builder.create(full, [lhs, rhs], [type or lhs.type])
+    return op.result()
+
+
+def addi(builder: Builder, lhs: Value, rhs: Value) -> Value:
+    return binary(builder, "addi", lhs, rhs)
+
+
+def subi(builder: Builder, lhs: Value, rhs: Value) -> Value:
+    return binary(builder, "subi", lhs, rhs)
+
+
+def muli(builder: Builder, lhs: Value, rhs: Value) -> Value:
+    return binary(builder, "muli", lhs, rhs)
+
+
+def cmpi(builder: Builder, predicate: str, lhs: Value, rhs: Value) -> Value:
+    """Create an ``arith.cmpi`` with the given predicate."""
+    if predicate not in CMP_PREDICATES:
+        raise IRError(f"unknown cmpi predicate '{predicate}'")
+    op = builder.create("arith.cmpi", [lhs, rhs], [I1], {"predicate": predicate})
+    return op.result()
+
+
+def select(builder: Builder, cond: Value, a: Value, b: Value) -> Value:
+    op = builder.create("arith.select", [cond, a, b], [a.type])
+    return op.result()
+
+
+def cast(builder: Builder, value: Value, to: IntType) -> Value:
+    """Integer width conversion (ext/trunc chosen from the widths)."""
+    if not isinstance(value.type, IntType):
+        raise IRError(f"cannot cast non-integer value {value!r}")
+    if value.type.width == to.width:
+        return value
+    name = "arith.extsi" if to.width > value.type.width else "arith.trunci"
+    op = builder.create(name, [value], [to])
+    return op.result()

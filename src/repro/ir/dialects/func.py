@@ -1,0 +1,37 @@
+"""``func`` dialect: functions, returns, and calls."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ir.builder import Builder
+from repro.ir.core import Block, FunctionType, Module, Operation, Type, Value
+
+
+def func(module: Module, name: str, arg_types: Sequence[Type],
+         result_types: Sequence[Type] = (), arg_names: Sequence[str] = ()) -> Operation:
+    """Create a ``func.func`` with an entry block and add it to the module."""
+    op = Operation(
+        "func.func",
+        attrs={"sym_name": name, "type": FunctionType(arg_types, result_types)},
+    )
+    region = op.add_region()
+    region.add_block(Block(arg_types=arg_types, arg_names=arg_names))
+    module.append(op)
+    return op
+
+
+def entry_block(func_op: Operation) -> Block:
+    """The entry block of a function."""
+    return func_op.region(0).entry
+
+
+def ret(builder: Builder, values: Sequence[Value] = ()) -> Operation:
+    """Create a ``func.return``."""
+    return builder.create("func.return", list(values), [])
+
+
+def call(builder: Builder, callee: str, args: Sequence[Value],
+         result_types: Sequence[Type] = ()) -> Operation:
+    return builder.create("func.call", list(args), list(result_types),
+                          {"callee": callee})

@@ -1,0 +1,31 @@
+"""``memref`` dialect: on-chip SRAM buffers with fixed compile-time sizes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.builder import Builder
+from repro.ir.core import I32, MemRefType, Operation, Type, Value
+
+
+def alloc(builder: Builder, size: int, element: Optional[Type] = None,
+          name: str = "buf") -> Value:
+    """Allocate an SRAM buffer of ``size`` elements."""
+    op = builder.create("memref.alloc", [], [MemRefType(size, element)],
+                        {"name": name})
+    op.result().name = name
+    return op.result()
+
+
+def dealloc(builder: Builder, buffer: Value) -> Operation:
+    return builder.create("memref.dealloc", [buffer], [])
+
+
+def load(builder: Builder, buffer: Value, index: Value) -> Value:
+    elem = buffer.type.element if isinstance(buffer.type, MemRefType) else I32
+    op = builder.create("memref.load", [buffer, index], [elem])
+    return op.result()
+
+
+def store(builder: Builder, value: Value, buffer: Value, index: Value) -> Operation:
+    return builder.create("memref.store", [value, buffer, index], [])

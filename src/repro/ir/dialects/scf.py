@@ -1,0 +1,75 @@
+"""``scf`` dialect: structured control flow (if / while / yield / condition).
+
+The shapes follow MLIR's SCF dialect:
+
+* ``scf.if %cond -> (results)``: two regions (then/else), each terminated by
+  an ``scf.yield`` carrying the region's results.
+* ``scf.while (inits) -> (results)``: a *before* region that computes the
+  loop condition and forwards the live values via ``scf.condition``, and an
+  *after* region (the loop body) terminated by ``scf.yield`` with the next
+  live values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import IRError
+from repro.ir.builder import Builder
+from repro.ir.core import Block, Operation, Type, Value
+
+
+def yield_(builder: Builder, values: Sequence[Value] = ()) -> Operation:
+    return builder.create("scf.yield", list(values), [])
+
+
+def condition(builder: Builder, cond: Value, args: Sequence[Value] = ()) -> Operation:
+    return builder.create("scf.condition", [cond] + list(args), [])
+
+
+def if_(builder: Builder, cond: Value, result_types: Sequence[Type] = ()) -> Operation:
+    """Create an ``scf.if`` with empty then/else blocks."""
+    op = builder.create("scf.if", [cond], list(result_types), num_regions=2)
+    return op
+
+
+def then_block(if_op: Operation) -> Block:
+    return if_op.region(0).entry
+
+
+def else_block(if_op: Operation) -> Block:
+    return if_op.region(1).entry
+
+
+def while_(builder: Builder, inits: Sequence[Value],
+           result_types: Optional[Sequence[Type]] = None) -> Operation:
+    """Create an ``scf.while`` whose regions carry the init values' types."""
+    types = [v.type for v in inits]
+    op = builder.create("scf.while", list(inits),
+                        list(result_types) if result_types is not None else types,
+                        num_regions=2)
+    before = op.region(0).entry
+    after = op.region(1).entry
+    for v in inits:
+        before.add_arg(v.type, name=v.name + "_b")
+        after.add_arg(v.type, name=v.name + "_a")
+    return op
+
+
+def before_block(while_op: Operation) -> Block:
+    return while_op.region(0).entry
+
+
+def after_block(while_op: Operation) -> Block:
+    return while_op.region(1).entry
+
+
+def verify_while(op: Operation) -> None:
+    """Structural checks for scf.while used by the verifier."""
+    if len(op.regions) != 2:
+        raise IRError("scf.while needs before/after regions")
+    before, after = op.region(0).entry, op.region(1).entry
+    if before.terminator is None or before.terminator.name != "scf.condition":
+        raise IRError("scf.while before-region must end with scf.condition")
+    if after.terminator is None or after.terminator.name != "scf.yield":
+        raise IRError("scf.while after-region must end with scf.yield")

@@ -1,0 +1,74 @@
+"""Textual IR printer (MLIR-flavoured, for debugging and golden tests)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.core import Block, Module, Operation, Region, Value
+
+
+def _fmt_attr(value) -> str:
+    if isinstance(value, str):
+        return f'"{value}"'
+    return repr(value)
+
+
+class Printer:
+    """Pretty-prints modules, operations, and regions."""
+
+    def __init__(self, indent: str = "  "):
+        self.indent = indent
+
+    def print_module(self, module: Module) -> str:
+        lines = [f"module @{module.name} {{"]
+        for op in module.operations:
+            lines.extend(self._op_lines(op, 1))
+        lines.append("}")
+        return "\n".join(lines)
+
+    def print_op(self, op: Operation) -> str:
+        return "\n".join(self._op_lines(op, 0))
+
+    # -- internals ---------------------------------------------------------
+
+    def _op_lines(self, op: Operation, depth: int) -> List[str]:
+        pad = self.indent * depth
+        results = ", ".join(f"%{r.name}" for r in op.results)
+        prefix = f"{results} = " if results else ""
+        operands = ", ".join(f"%{v.name}" for v in op.operands)
+        attrs = ""
+        visible_attrs = {k: v for k, v in op.attrs.items() if v is not None}
+        if visible_attrs:
+            attrs = " {" + ", ".join(
+                f"{k} = {_fmt_attr(v)}" for k, v in sorted(visible_attrs.items())
+            ) + "}"
+        types = ""
+        if op.results:
+            types = " : " + ", ".join(repr(r.type) for r in op.results)
+        line = f"{pad}{prefix}{op.name}({operands}){attrs}{types}"
+        lines = [line]
+        for region in op.regions:
+            lines.extend(self._region_lines(region, depth))
+        return lines
+
+    def _region_lines(self, region: Region, depth: int) -> List[str]:
+        pad = self.indent * depth
+        lines = [f"{pad}{{"]
+        for i, block in enumerate(region.blocks):
+            if block.args or len(region.blocks) > 1:
+                args = ", ".join(f"%{a.name}: {a.type!r}" for a in block.args)
+                lines.append(f"{pad}^bb{i}({args}):")
+            for op in block.operations:
+                lines.extend(self._op_lines(op, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+
+
+def print_module(module: Module) -> str:
+    """Print a module with default settings."""
+    return Printer().print_module(module)
+
+
+def print_op(op: Operation) -> str:
+    """Print a single operation (and its regions)."""
+    return Printer().print_op(op)

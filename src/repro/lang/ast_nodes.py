@@ -1,0 +1,258 @@
+"""AST node definitions for the Revet language.
+
+Every node carries its source line for diagnostics.  Statements and
+expressions are plain dataclasses; the tree produced by the parser is
+immutable by convention (the lowering never mutates it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+# -- types -------------------------------------------------------------------
+
+#: Scalar type names accepted in declarations and parameters.
+SCALAR_TYPES = {"int": 32, "uint": 32, "int8": 8, "int16": 16, "char": 8,
+                "bool": 1, "void": 0}
+
+VIEW_KINDS = {"ReadView", "WriteView", "ModifyView"}
+ITERATOR_KINDS = {"ReadIt", "PeekReadIt", "WriteIt", "ManualWriteIt"}
+
+
+@dataclass(frozen=True)
+class TypeName:
+    """A scalar type reference (``int``, ``char``, ...)."""
+
+    name: str
+
+    @property
+    def width(self) -> int:
+        return SCALAR_TYPES[self.name]
+
+
+# -- expressions ----------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool = False
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str = ""
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str = "+"
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str = "-"  # '-', '!', '~', '*' (deref of an iterator)
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``base[index]`` where base is an SRAM, view, or DRAM symbol."""
+
+    base: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    """Intrinsic calls: ``fork(n)``, ``peek(it, k)``, ``min(a, b)``, ..."""
+
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class TernaryExpr(Expr):
+    cond: Optional[Expr] = None
+    then_value: Optional[Expr] = None
+    else_value: Optional[Expr] = None
+
+
+# -- statements ---------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    type: TypeName = TypeName("int")
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class SramDecl(Stmt):
+    """``SRAM<size> name;`` — an explicitly managed scratchpad buffer."""
+
+    size: int = 0
+    name: str = ""
+
+
+@dataclass
+class ViewDecl(Stmt):
+    """``ReadView<size> name(dram, base);`` and friends (Table I)."""
+
+    kind: str = "ReadView"
+    size: int = 0
+    name: str = ""
+    dram: str = ""
+    base: Optional[Expr] = None
+
+
+@dataclass
+class IteratorDecl(Stmt):
+    """``ReadIt<tile> name(dram, seek);`` and friends (Table I)."""
+
+    kind: str = "ReadIt"
+    tile: int = 0
+    name: str = ""
+    dram: str = ""
+    seek: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is a variable, index, or deref."""
+
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+    op: str = "="  # '=', '+=', '-=', ...
+
+
+@dataclass
+class IncrDecr(Stmt):
+    """``x++`` / ``x--`` / ``it++`` (iterator advance)."""
+
+    target: Optional[Expr] = None
+    delta: int = 1
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Optional[Expr] = None
+    then_block: Optional[Block] = None
+    else_block: Optional[Block] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Block] = None
+
+
+@dataclass
+class ForeachStmt(Stmt):
+    """``foreach (count by step) { type name => body }``."""
+
+    count: Optional[Expr] = None
+    step: Optional[Expr] = None
+    index_type: TypeName = TypeName("int")
+    index_name: str = "i"
+    body: Optional[Block] = None
+
+
+@dataclass
+class ReplicateStmt(Stmt):
+    factor: int = 1
+    body: Optional[Block] = None
+
+
+@dataclass
+class PragmaStmt(Stmt):
+    name: str = ""
+
+
+@dataclass
+class ExitStmt(Stmt):
+    pass
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class FlushStmt(Stmt):
+    """``flush(it);`` — manual flush of a ManualWriteIt."""
+
+    iterator: str = ""
+
+
+# -- top level -------------------------------------------------------------------------
+
+
+@dataclass
+class DramDecl:
+    """``DRAM<char> input;`` — a global DRAM tensor."""
+
+    element: TypeName = TypeName("int")
+    name: str = ""
+    line: int = 0
+
+
+@dataclass
+class Param:
+    type: TypeName = TypeName("int")
+    name: str = ""
+
+
+@dataclass
+class Function:
+    return_type: TypeName = TypeName("void")
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+    line: int = 0
+
+
+@dataclass
+class Program:
+    drams: List[DramDecl] = field(default_factory=list)
+    functions: List[Function] = field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

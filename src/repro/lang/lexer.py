@@ -1,0 +1,213 @@
+"""Lexer for the Revet language (paper Section IV, Figure 7 syntax)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "int",
+    "int8",
+    "int16",
+    "uint",
+    "char",
+    "bool",
+    "void",
+    "if",
+    "else",
+    "while",
+    "foreach",
+    "replicate",
+    "fork",
+    "exit",
+    "return",
+    "by",
+    "pragma",
+    "DRAM",
+    "SRAM",
+    "ReadView",
+    "WriteView",
+    "ModifyView",
+    "ReadIt",
+    "PeekReadIt",
+    "WriteIt",
+    "ManualWriteIt",
+    "true",
+    "false",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+MULTI_CHAR_OPS = [
+    "=>",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+]
+
+SINGLE_CHAR_OPS = set("+-*/%<>=!&|^~(){}[],;:?.")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str  # 'int', 'char', 'string', 'ident', 'keyword', 'op', 'eof'
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Converts Revet source text into a token list."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind == "eof":
+                return tokens
+
+    # -- internals ----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise LexError("unterminated block comment", self.line, self.column)
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        if self.pos >= len(self.source):
+            return Token("eof", None, line, column)
+        ch = self._peek()
+
+        if ch.isdigit():
+            return self._lex_number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident(line, column)
+        if ch == "'":
+            return self._lex_char(line, column)
+        if ch == '"':
+            return self._lex_string(line, column)
+
+        for op in MULTI_CHAR_OPS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("op", op, line, column)
+        if ch in SINGLE_CHAR_OPS:
+            self._advance()
+            return Token("op", ch, line, column)
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            return Token("int", int(self.source[start : self.pos], 16), line, column)
+        while self._peek().isdigit():
+            self._advance()
+        return Token("int", int(self.source[start : self.pos]), line, column)
+
+    def _lex_ident(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = "keyword" if text in KEYWORDS else "ident"
+        return Token(kind, text, line, column)
+
+    def _lex_char(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            escapes = {"n": "\n", "t": "\t", "0": "\0", "'": "'", "\\": "\\"}
+            ch = escapes.get(self._peek())
+            if ch is None:
+                raise LexError(f"unknown escape \\{self._peek()}", line, column)
+        self._advance()
+        if self._peek() != "'":
+            raise LexError("unterminated character literal", line, column)
+        self._advance()
+        return Token("int", ord(ch), line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        self._advance()
+        chars: List[str] = []
+        while self._peek() != '"':
+            if not self._peek():
+                raise LexError("unterminated string literal", line, column)
+            ch = self._advance()
+            if ch == "\\":
+                escapes = {"n": "\n", "t": "\t", "0": "\0", '"': '"', "\\": "\\"}
+                nxt = self._advance()
+                if nxt not in escapes:
+                    raise LexError(f"unknown escape \\{nxt}", line, column)
+                ch = escapes[nxt]
+            chars.append(ch)
+        self._advance()
+        return Token("string", "".join(chars), line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize Revet source text."""
+    return Lexer(source).tokenize()

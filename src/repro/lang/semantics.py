@@ -1,0 +1,312 @@
+"""Semantic analysis for Revet programs.
+
+Checks performed before lowering:
+
+* symbol resolution: every referenced name is a declared variable, SRAM
+  buffer, view, iterator, DRAM global, parameter, or intrinsic;
+* duplicate declarations within one scope;
+* views/iterators reference declared DRAM globals;
+* read/write capability checks per Table I (e.g. a ``ReadIt`` cannot be the
+  target of a store, a ``WriteView`` cannot be read);
+* structural rules: ``exit()`` only inside a parallel region, ``fork`` only
+  inside a parallel region, ``replicate`` factors are positive, foreach
+  bodies do not ``return``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import SemanticError
+from repro.lang import ast_nodes as ast
+
+#: Intrinsic functions usable in expressions.
+INTRINSICS = {"fork", "min", "max", "abs", "peek"}
+
+#: Which adapters may be read / written (paper Table I).
+ADAPTER_READABLE = {"ReadView", "ModifyView", "ReadIt", "PeekReadIt", "SRAM"}
+ADAPTER_WRITABLE = {"WriteView", "ModifyView", "WriteIt", "ManualWriteIt", "SRAM"}
+
+
+@dataclass
+class Symbol:
+    """One declared name and its kind."""
+
+    name: str
+    kind: str  # 'scalar', 'sram', 'view', 'iterator', 'dram', 'param'
+    detail: str = ""  # adapter kind for views/iterators, type name for scalars
+
+
+@dataclass
+class Scope:
+    symbols: Dict[str, Symbol] = field(default_factory=dict)
+    parent: Optional["Scope"] = None
+
+    def declare(self, symbol: Symbol, line: int = 0) -> None:
+        if symbol.name in self.symbols:
+            raise SemanticError(f"line {line}: redeclaration of '{symbol.name}'")
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+@dataclass
+class AnalysisResult:
+    """Summary information gathered during analysis (used by the lowering)."""
+
+    dram_names: Set[str] = field(default_factory=set)
+    functions: Set[str] = field(default_factory=set)
+    uses_fork: bool = False
+    uses_exit: bool = False
+    max_foreach_depth: int = 0
+    pragmas: List[str] = field(default_factory=list)
+
+
+class SemanticChecker:
+    """Validates a parsed program; raises :class:`SemanticError` on problems."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.result = AnalysisResult()
+
+    def check(self) -> AnalysisResult:
+        globals_scope = Scope()
+        for dram in self.program.drams:
+            globals_scope.declare(
+                Symbol(dram.name, "dram", dram.element.name), dram.line
+            )
+            self.result.dram_names.add(dram.name)
+        if not self.program.functions:
+            raise SemanticError("program has no functions")
+        for fn in self.program.functions:
+            self.result.functions.add(fn.name)
+        for fn in self.program.functions:
+            self._check_function(fn, globals_scope)
+        return self.result
+
+    # -- functions and statements ------------------------------------------------
+
+    def _check_function(self, fn: ast.Function, globals_scope: Scope) -> None:
+        scope = Scope(parent=globals_scope)
+        for param in fn.params:
+            scope.declare(Symbol(param.name, "param", param.type.name), fn.line)
+        self._check_block(fn.body, scope, parallel_depth=0)
+
+    def _check_block(self, block: ast.Block, scope: Scope, parallel_depth: int) -> None:
+        for stmt in block.statements:
+            self._check_stmt(stmt, scope, parallel_depth)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: Scope, depth: int) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._check_expr(stmt.init, scope, depth)
+            scope.declare(Symbol(stmt.name, "scalar", stmt.type.name), stmt.line)
+        elif isinstance(stmt, ast.SramDecl):
+            if stmt.size <= 0:
+                raise SemanticError(f"line {stmt.line}: SRAM size must be positive")
+            scope.declare(Symbol(stmt.name, "sram", "SRAM"), stmt.line)
+        elif isinstance(stmt, ast.ViewDecl):
+            self._check_dram(stmt.dram, stmt.line, scope)
+            self._check_expr(stmt.base, scope, depth)
+            scope.declare(Symbol(stmt.name, "view", stmt.kind), stmt.line)
+        elif isinstance(stmt, ast.IteratorDecl):
+            self._check_dram(stmt.dram, stmt.line, scope)
+            self._check_expr(stmt.seek, scope, depth)
+            scope.declare(Symbol(stmt.name, "iterator", stmt.kind), stmt.line)
+        elif isinstance(stmt, ast.Assign):
+            self._check_assign(stmt, scope, depth)
+        elif isinstance(stmt, ast.IncrDecr):
+            self._check_incr(stmt, scope, depth)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope, depth)
+        elif isinstance(stmt, ast.IfStmt):
+            self._check_expr(stmt.cond, scope, depth)
+            self._check_block(stmt.then_block, Scope(parent=scope), depth)
+            if stmt.else_block is not None:
+                self._check_block(stmt.else_block, Scope(parent=scope), depth)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._check_expr(stmt.cond, scope, depth)
+            self._check_block(stmt.body, Scope(parent=scope), depth)
+        elif isinstance(stmt, ast.ForeachStmt):
+            self._check_expr(stmt.count, scope, depth)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, scope, depth)
+            self.result.max_foreach_depth = max(self.result.max_foreach_depth, depth + 1)
+            inner = Scope(parent=scope)
+            inner.declare(Symbol(stmt.index_name, "scalar", stmt.index_type.name), stmt.line)
+            self._check_block(stmt.body, inner, depth + 1)
+        elif isinstance(stmt, ast.ReplicateStmt):
+            if stmt.factor < 1:
+                raise SemanticError(f"line {stmt.line}: replicate factor must be >= 1")
+            self._check_block(stmt.body, Scope(parent=scope), depth)
+        elif isinstance(stmt, ast.PragmaStmt):
+            self.result.pragmas.append(stmt.name)
+        elif isinstance(stmt, ast.ExitStmt):
+            if depth == 0:
+                raise SemanticError(
+                    f"line {stmt.line}: exit() is only allowed inside a parallel region"
+                )
+            self.result.uses_exit = True
+        elif isinstance(stmt, ast.ReturnStmt):
+            if depth > 0:
+                raise SemanticError(
+                    f"line {stmt.line}: return is not allowed inside foreach bodies; "
+                    "yield values from a thread by assigning to a WriteView"
+                )
+            if stmt.value is not None:
+                self._check_expr(stmt.value, scope, depth)
+        elif isinstance(stmt, ast.FlushStmt):
+            symbol = scope.lookup(stmt.iterator)
+            if symbol is None or symbol.kind != "iterator":
+                raise SemanticError(
+                    f"line {stmt.line}: flush() expects an iterator, got '{stmt.iterator}'"
+                )
+        elif isinstance(stmt, ast.Block):
+            self._check_block(stmt, Scope(parent=scope), depth)
+        else:  # pragma: no cover - defensive
+            raise SemanticError(f"line {stmt.line}: unsupported statement {type(stmt).__name__}")
+
+    def _check_assign(self, stmt: ast.Assign, scope: Scope, depth: int) -> None:
+        self._check_expr(stmt.value, scope, depth)
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            symbol = scope.lookup(target.name)
+            if symbol is None:
+                raise SemanticError(f"line {stmt.line}: assignment to undeclared '{target.name}'")
+            if symbol.kind not in ("scalar", "param"):
+                raise SemanticError(
+                    f"line {stmt.line}: cannot assign to {symbol.kind} '{target.name}' directly"
+                )
+        elif isinstance(target, ast.IndexExpr):
+            symbol = self._lookup_indexable(target.base, stmt.line, scope)
+            if symbol.kind in ("view", "sram") and symbol.detail not in ADAPTER_WRITABLE:
+                raise SemanticError(
+                    f"line {stmt.line}: '{target.base}' ({symbol.detail}) is not writable"
+                )
+            self._check_expr(target.index, scope, depth)
+        elif isinstance(target, ast.UnaryOp) and target.op == "*":
+            symbol = self._iterator_of(target, stmt.line, scope)
+            if symbol.detail not in ADAPTER_WRITABLE:
+                raise SemanticError(
+                    f"line {stmt.line}: iterator '{symbol.name}' ({symbol.detail}) is read-only"
+                )
+        else:
+            raise SemanticError(f"line {stmt.line}: invalid assignment target")
+
+    def _check_incr(self, stmt: ast.IncrDecr, scope: Scope, depth: int) -> None:
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            symbol = scope.lookup(target.name)
+            if symbol is None:
+                raise SemanticError(f"line {stmt.line}: '{target.name}' is not declared")
+            if symbol.kind not in ("scalar", "param", "iterator"):
+                raise SemanticError(
+                    f"line {stmt.line}: '++' is not supported on {symbol.kind} '{target.name}'"
+                )
+        else:
+            raise SemanticError(f"line {stmt.line}: '++' target must be a name")
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _check_expr(self, expr: Optional[ast.Expr], scope: Scope, depth: int) -> None:
+        if expr is None:
+            raise SemanticError("internal error: missing expression")
+        if isinstance(expr, (ast.IntLiteral, ast.BoolLiteral, ast.StringLiteral)):
+            return
+        if isinstance(expr, ast.VarRef):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                raise SemanticError(f"line {expr.line}: use of undeclared '{expr.name}'")
+            return
+        if isinstance(expr, ast.BinaryOp):
+            self._check_expr(expr.lhs, scope, depth)
+            self._check_expr(expr.rhs, scope, depth)
+            return
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op == "*":
+                self._iterator_of(expr, expr.line, scope, require_readable=True)
+                return
+            self._check_expr(expr.operand, scope, depth)
+            return
+        if isinstance(expr, ast.IndexExpr):
+            symbol = self._lookup_indexable(expr.base, expr.line, scope)
+            if symbol.kind in ("view", "sram") and symbol.detail not in ADAPTER_READABLE:
+                raise SemanticError(
+                    f"line {expr.line}: '{expr.base}' ({symbol.detail}) is not readable"
+                )
+            self._check_expr(expr.index, scope, depth)
+            return
+        if isinstance(expr, ast.TernaryExpr):
+            self._check_expr(expr.cond, scope, depth)
+            self._check_expr(expr.then_value, scope, depth)
+            self._check_expr(expr.else_value, scope, depth)
+            return
+        if isinstance(expr, ast.CallExpr):
+            if expr.callee == "fork":
+                if depth == 0:
+                    raise SemanticError(
+                        f"line {expr.line}: fork() is only allowed inside a parallel region"
+                    )
+                self.result.uses_fork = True
+            elif expr.callee == "peek":
+                if not expr.args or not isinstance(expr.args[0], ast.VarRef):
+                    raise SemanticError(
+                        f"line {expr.line}: peek() expects an iterator as its first argument"
+                    )
+                symbol = scope.lookup(expr.args[0].name)
+                if symbol is None or symbol.kind != "iterator":
+                    raise SemanticError(
+                        f"line {expr.line}: peek() expects an iterator as its first argument"
+                    )
+                for arg in expr.args[1:]:
+                    self._check_expr(arg, scope, depth)
+                return
+            elif expr.callee not in INTRINSICS and expr.callee not in self.result.functions:
+                raise SemanticError(f"line {expr.line}: unknown function '{expr.callee}'")
+            for arg in expr.args:
+                self._check_expr(arg, scope, depth)
+            return
+        raise SemanticError(f"line {expr.line}: unsupported expression {type(expr).__name__}")
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _check_dram(self, name: str, line: int, scope: Scope) -> None:
+        symbol = scope.lookup(name)
+        if symbol is None or symbol.kind != "dram":
+            raise SemanticError(f"line {line}: '{name}' is not a declared DRAM tensor")
+
+    def _lookup_indexable(self, name: str, line: int, scope: Scope) -> Symbol:
+        symbol = scope.lookup(name)
+        if symbol is None:
+            raise SemanticError(f"line {line}: use of undeclared '{name}'")
+        if symbol.kind not in ("sram", "view", "dram"):
+            raise SemanticError(
+                f"line {line}: '{name}' is not indexable (kind: {symbol.kind})"
+            )
+        return symbol
+
+    def _iterator_of(self, expr: ast.UnaryOp, line: int, scope: Scope,
+                     require_readable: bool = False) -> Symbol:
+        operand = expr.operand
+        if not isinstance(operand, ast.VarRef):
+            raise SemanticError(f"line {line}: '*' expects an iterator name")
+        symbol = scope.lookup(operand.name)
+        if symbol is None or symbol.kind != "iterator":
+            raise SemanticError(f"line {line}: '{operand.name}' is not an iterator")
+        if require_readable and symbol.detail not in ADAPTER_READABLE:
+            raise SemanticError(
+                f"line {line}: iterator '{operand.name}' ({symbol.detail}) is write-only"
+            )
+        return symbol
+
+
+def check(program: ast.Program) -> AnalysisResult:
+    """Run semantic analysis on a parsed program."""
+    return SemanticChecker(program).check()

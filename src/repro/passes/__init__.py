@@ -1,0 +1,23 @@
+"""Compiler passes: high-level lowering and optimization (Figure 8)."""
+
+from repro.passes.canonicalize import CanonicalizePass
+from repro.passes.lower_views import LowerViewsPass
+from repro.passes.lower_iterators import LowerIteratorsPass
+from repro.passes.hierarchy_elimination import HierarchyEliminationPass
+from repro.passes.if_to_select import IfToSelectPass
+from repro.passes.allocator_fusion import AllocatorFusionPass
+from repro.passes.allocator_hoisting import AllocatorHoistingPass
+from repro.passes.bufferize_replicate import BufferizeReplicatePass
+from repro.passes.subword_packing import SubwordPackingPass
+
+__all__ = [
+    "CanonicalizePass",
+    "LowerViewsPass",
+    "LowerIteratorsPass",
+    "HierarchyEliminationPass",
+    "IfToSelectPass",
+    "AllocatorFusionPass",
+    "AllocatorHoistingPass",
+    "BufferizeReplicatePass",
+    "SubwordPackingPass",
+]

@@ -1,0 +1,59 @@
+"""Replicate bufferization (paper Section V-B(b), Figure 10b).
+
+Values that are live *around* a replicate region (defined before it, used
+after it, but not needed inside) would otherwise have to be sent through the
+region's work-distribution network and permuted back.  When the region has a
+hoisted allocator pointer, those values are instead parked in an SRAM buffer
+keyed by that pointer and reloaded afterwards.
+
+The pass records, per replicate op, how many live-around values were
+bufferized (``bufferized_values``); the resource model charges one MU for the
+buffer and removes the corresponding vector links from the distribution and
+merge logic.
+"""
+
+from __future__ import annotations
+
+from repro.ir import Module, Operation, ops_named
+from repro.ir.pass_manager import Pass
+
+
+def _values_live_around(rep: Operation):
+    """Values defined before ``rep`` in its block and used after it."""
+    block = rep.parent
+    if block is None:
+        return []
+    position = block.operations.index(rep)
+    defined_before = []
+    for op in block.operations[:position]:
+        defined_before.extend(op.results)
+    defined_before.extend(block.args)
+    inside = {id(o) for o in rep.walk()}
+    live_around = []
+    for value in defined_before:
+        used_after = False
+        used_inside = False
+        for use in value.uses:
+            if id(use) in inside:
+                used_inside = True
+            elif use.parent is block and block.operations.index(use) > position:
+                used_after = True
+        if used_after and not used_inside:
+            live_around.append(value)
+    return live_around
+
+
+class BufferizeReplicatePass(Pass):
+    """Annotate replicate ops with the values bufferized around them."""
+
+    name = "bufferize-replicate"
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for rep in ops_named(module, "revet.replicate"):
+            live_around = _values_live_around(rep)
+            count = len(live_around) if rep.attrs.get("hoisted_allocator") else 0
+            rep.attrs["bufferized_values"] = count
+            rep.attrs["live_around_values"] = len(live_around)
+            changed = changed or count > 0
+        return changed

@@ -1,0 +1,79 @@
+"""If-to-select conversion (paper Section V-B(c)).
+
+``scf.if`` regions that contain only pure element-wise arithmetic (no loops,
+no memory operations, no nested regions) would occupy whole dataflow contexts
+just to leave lanes idle.  This pass inlines such ifs: both branches are
+hoisted into the parent block and each result becomes an ``arith.select``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir import Module, Operation, Value, ops_named
+from repro.ir.pass_manager import Pass
+
+#: Ops that may be speculated (executed unconditionally on all lanes).
+SPECULATABLE = {
+    "arith.constant", "arith.addi", "arith.subi", "arith.muli", "arith.andi",
+    "arith.ori", "arith.xori", "arith.shli", "arith.shrui", "arith.shrsi",
+    "arith.minsi", "arith.maxsi", "arith.cmpi", "arith.select", "arith.extsi",
+    "arith.extui", "arith.trunci",
+}
+
+
+class IfToSelectPass(Pass):
+    """Inline loop-free, memory-free ``scf.if`` ops into selects."""
+
+    name = "if-to-select"
+
+    def __init__(self):
+        self.converted = 0
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for if_op in ops_named(module, "scf.if"):
+            if if_op.parent is None:
+                continue
+            if self._convertible(if_op):
+                self._convert(if_op)
+                self.converted += 1
+                changed = True
+        return changed
+
+    def _convertible(self, if_op: Operation) -> bool:
+        for region in if_op.regions:
+            if len(region.blocks) != 1:
+                return False
+            for op in region.entry.operations:
+                if op.name == "scf.yield":
+                    continue
+                if op.name not in SPECULATABLE or op.regions:
+                    return False
+        return True
+
+    def _convert(self, if_op: Operation) -> None:
+        block = if_op.parent
+        cond = if_op.operand(0)
+        yields: List[List[Value]] = []
+        for region in if_op.regions:
+            mapping: Dict[Value, Value] = {}
+            region_yields: List[Value] = []
+            for op in list(region.entry.operations):
+                if op.name == "scf.yield":
+                    region_yields = [mapping.get(v, v) for v in op.operands]
+                    for operand in op.operands:
+                        if op in operand.uses:
+                            operand.uses.remove(op)
+                    continue
+                clone = op.clone(mapping)
+                block.insert_before(if_op, clone)
+            yields.append(region_yields)
+
+        then_vals, else_vals = yields[0], yields[1] if len(yields) > 1 else ([], [])
+        selects: List[Value] = []
+        for then_v, else_v in zip(then_vals, else_vals):
+            select = Operation("arith.select", [cond, then_v, else_v], [then_v.type])
+            block.insert_before(if_op, select)
+            selects.append(select.result())
+        if_op.replace_with_values(selects)

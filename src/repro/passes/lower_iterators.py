@@ -1,0 +1,165 @@
+"""Iterator lowering (paper Section V-A(a), second half).
+
+Each ``ReadIt`` / ``PeekReadIt`` / ``WriteIt`` / ``ManualWriteIt`` becomes
+
+* a two-word *state* buffer — ``state[0]`` is the absolute element position
+  and ``state[1]`` the absolute position of the tile buffer's first element,
+* a *tile* buffer of the iterator's tile size, and
+* demand-driven refills (read iterators) or flushes (write iterators) guarded
+  by an ``scf.if``: read iterators fill only at dereference (so unused fill
+  paths map no hardware), write iterators flush when the tile fills, at
+  deallocation (``WriteIt``) or at an explicit ``flush`` (``ManualWriteIt``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PassError
+from repro.ir import Builder, Module, Operation, ops_named
+from repro.ir.dialects import arith as arith_d
+from repro.ir.dialects import memref as memref_d
+from repro.ir.dialects import revet as revet_d
+from repro.ir.dialects import scf as scf_d
+from repro.ir.pass_manager import Pass
+
+READ_KINDS = {"ReadIt", "PeekReadIt"}
+WRITE_KINDS = {"WriteIt", "ManualWriteIt"}
+
+#: state-buffer slots
+POS, BASE = 0, 1
+
+
+class LowerIteratorsPass(Pass):
+    """Rewrite every ``revet.it_new`` and its uses into physical memory ops."""
+
+    name = "lower-iterators"
+
+    def run(self, module: Module) -> bool:
+        iterators = ops_named(module, "revet.it_new")
+        for it_op in iterators:
+            self._lower_iterator(it_op)
+        return bool(iterators)
+
+    # -- per-iterator lowering -------------------------------------------------
+
+    def _lower_iterator(self, it_op: Operation) -> None:
+        kind = it_op.attrs["kind"]
+        tile = it_op.attrs["tile"]
+        dram, seek = it_op.operands
+        block = it_op.parent
+        if block is None:
+            raise PassError("it_new is not attached to a block")
+        name = it_op.result().name
+
+        builder = Builder()
+        builder.set_insertion_point_before(it_op)
+        state = memref_d.alloc(builder, 2, name=f"{name}_state")
+        buffer = memref_d.alloc(builder, tile, name=f"{name}_tile")
+        pos_idx = arith_d.constant(builder, POS)
+        base_idx = arith_d.constant(builder, BASE)
+        memref_d.store(builder, seek, state, pos_idx)
+        if kind in READ_KINDS:
+            # Force a refill on the first dereference.
+            tile_c = arith_d.constant(builder, tile)
+            initial_base = arith_d.binary(builder, "subi", seek, tile_c)
+        else:
+            initial_base = seek
+        memref_d.store(builder, initial_base, state, base_idx)
+
+        handle = it_op.result()
+        for use in list(handle.uses):
+            rewriter = Builder()
+            rewriter.set_insertion_point_before(use)
+            if use.name == "revet.it_deref":
+                value = self._emit_read(rewriter, dram, state, buffer, tile, offset=None)
+                use.replace_with_values([value])
+            elif use.name == "revet.it_peek":
+                value = self._emit_read(rewriter, dram, state, buffer, tile,
+                                        offset=use.operands[1])
+                use.replace_with_values([value])
+            elif use.name == "revet.it_advance":
+                self._emit_advance(rewriter, state,
+                                   use.operands[1] if len(use.operands) > 1 else None)
+                use.erase()
+            elif use.name == "revet.it_put":
+                self._emit_put(rewriter, dram, state, buffer, tile, use.operands[1])
+                use.erase()
+            elif use.name == "revet.it_flush":
+                self._emit_flush(rewriter, dram, state, buffer, tile)
+                use.erase()
+            else:
+                raise PassError(f"unexpected use of an iterator handle: {use.name}")
+
+        end_builder = Builder()
+        terminator = block.terminator
+        if terminator is not None and terminator.name in (
+            "func.return", "scf.yield", "revet.yield", "scf.condition",
+        ):
+            end_builder.set_insertion_point_before(terminator)
+        else:
+            end_builder.set_insertion_point_to_end(block)
+        if kind == "WriteIt":
+            # Automatic flush at deallocation; ManualWriteIt elides it.
+            self._emit_flush(end_builder, dram, state, buffer, tile)
+        memref_d.dealloc(end_builder, buffer)
+        memref_d.dealloc(end_builder, state)
+
+        it_op.erase()
+
+    # -- code templates --------------------------------------------------------------
+
+    def _emit_read(self, b: Builder, dram, state, buffer, tile: int, offset):
+        """Dereference (or peek) with a demand refill of the tile buffer."""
+        pos = memref_d.load(b, state, arith_d.constant(b, POS))
+        if offset is not None:
+            pos = arith_d.binary(b, "addi", pos, offset)
+        base = memref_d.load(b, state, arith_d.constant(b, BASE))
+        rel = arith_d.binary(b, "subi", pos, base)
+        need = arith_d.cmpi(b, "sge", rel, arith_d.constant(b, tile))
+        refill = scf_d.if_(b, need, [])
+        then_b = Builder()
+        then_b.set_insertion_point_to_end(scf_d.then_block(refill))
+        fill_start = memref_d.load(then_b, state, arith_d.constant(then_b, POS))
+        revet_d.bulk_load(then_b, dram, fill_start, buffer, tile)
+        memref_d.store(then_b, fill_start, state, arith_d.constant(then_b, BASE))
+        scf_d.yield_(then_b)
+        else_b = Builder()
+        else_b.set_insertion_point_to_end(scf_d.else_block(refill))
+        scf_d.yield_(else_b)
+        # Re-read the base after the (possible) refill.
+        base2 = memref_d.load(b, state, arith_d.constant(b, BASE))
+        rel2 = arith_d.binary(b, "subi", pos, base2)
+        return memref_d.load(b, buffer, rel2)
+
+    def _emit_advance(self, b: Builder, state, amount=None) -> None:
+        pos_idx = arith_d.constant(b, POS)
+        pos = memref_d.load(b, state, pos_idx)
+        step = amount if amount is not None else arith_d.constant(b, 1)
+        memref_d.store(b, arith_d.binary(b, "addi", pos, step), state, pos_idx)
+
+    def _emit_put(self, b: Builder, dram, state, buffer, tile: int, value) -> None:
+        """Write at the current position, flushing the tile when it fills."""
+        pos = memref_d.load(b, state, arith_d.constant(b, POS))
+        base = memref_d.load(b, state, arith_d.constant(b, BASE))
+        rel = arith_d.binary(b, "subi", pos, base)
+        need = arith_d.cmpi(b, "sge", rel, arith_d.constant(b, tile))
+        flush = scf_d.if_(b, need, [])
+        then_b = Builder()
+        then_b.set_insertion_point_to_end(scf_d.then_block(flush))
+        old_base = memref_d.load(then_b, state, arith_d.constant(then_b, BASE))
+        revet_d.bulk_store(then_b, dram, old_base, buffer, tile)
+        new_base = memref_d.load(then_b, state, arith_d.constant(then_b, POS))
+        memref_d.store(then_b, new_base, state, arith_d.constant(then_b, BASE))
+        scf_d.yield_(then_b)
+        else_b = Builder()
+        else_b.set_insertion_point_to_end(scf_d.else_block(flush))
+        scf_d.yield_(else_b)
+        base2 = memref_d.load(b, state, arith_d.constant(b, BASE))
+        rel2 = arith_d.binary(b, "subi", pos, base2)
+        memref_d.store(b, value, buffer, rel2)
+
+    def _emit_flush(self, b: Builder, dram, state, buffer, tile: int) -> None:
+        """Flush the partially-filled tile: only pos - base words are written."""
+        base = memref_d.load(b, state, arith_d.constant(b, BASE))
+        pos = memref_d.load(b, state, arith_d.constant(b, POS))
+        count = arith_d.binary(b, "subi", pos, base)
+        revet_d.bulk_store(b, dram, base, buffer, tile, count=count)

@@ -1,0 +1,78 @@
+"""View lowering (paper Section V-A(a), first half).
+
+``ReadView`` / ``WriteView`` / ``ModifyView`` adapters become:
+
+* a ``memref.alloc`` of the view's tile size,
+* a ``revet.bulk_load`` right after allocation for readable views,
+* ``memref.load`` / ``memref.store`` for each ``view_load`` / ``view_store``,
+* a ``revet.bulk_store`` plus ``memref.dealloc`` at the end of the declaring
+  block for writable views (the implicit flush in Figure 7 line 27).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import PassError
+from repro.ir import Builder, Module, Operation, ops_named
+from repro.ir.dialects import memref as memref_d
+from repro.ir.dialects import revet as revet_d
+from repro.ir.pass_manager import Pass
+
+READABLE = {"ReadView", "ModifyView"}
+WRITABLE = {"WriteView", "ModifyView"}
+
+
+class LowerViewsPass(Pass):
+    """Rewrite every ``revet.view_new`` and its uses into physical memory ops."""
+
+    name = "lower-views"
+
+    def run(self, module: Module) -> bool:
+        views = ops_named(module, "revet.view_new")
+        for view_op in views:
+            self._lower_view(view_op)
+        return bool(views)
+
+    def _lower_view(self, view_op: Operation) -> None:
+        kind = view_op.attrs["kind"]
+        size = view_op.attrs["size"]
+        dram, base = view_op.operands
+        block = view_op.parent
+        if block is None:
+            raise PassError("view_new is not attached to a block")
+
+        builder = Builder()
+        builder.set_insertion_point_before(view_op)
+        buffer = memref_d.alloc(builder, size, name=f"{view_op.result().name}_tile")
+        if kind in READABLE:
+            revet_d.bulk_load(builder, dram, base, buffer, size)
+
+        # Rewrite all loads/stores through this view.
+        handle = view_op.result()
+        for use in list(handle.uses):
+            rewriter = Builder()
+            rewriter.set_insertion_point_before(use)
+            if use.name == "revet.view_load":
+                value = memref_d.load(rewriter, buffer, use.operands[1])
+                use.replace_with_values([value])
+            elif use.name == "revet.view_store":
+                memref_d.store(rewriter, use.operands[2], buffer, use.operands[1])
+                use.erase()
+            else:
+                raise PassError(f"unexpected use of a view handle: {use.name}")
+
+        # Flush and deallocate at the end of the declaring block.
+        end_builder = Builder()
+        terminator = block.terminator
+        if terminator is not None and terminator.name in (
+            "func.return", "scf.yield", "revet.yield", "scf.condition",
+        ):
+            end_builder.set_insertion_point_before(terminator)
+        else:
+            end_builder.set_insertion_point_to_end(block)
+        if kind in WRITABLE:
+            revet_d.bulk_store(end_builder, dram, base, buffer, size)
+        memref_d.dealloc(end_builder, buffer)
+
+        view_op.erase()

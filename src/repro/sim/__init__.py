@@ -1,0 +1,12 @@
+"""Cycle-level performance models for the vRDA (Section VI-A)."""
+
+from repro.sim.perf_model import ThroughputReport, VRDAPerformanceModel, WorkloadProfile
+from repro.sim.load_balance import LoadBalanceSimulator, RegionLoad
+
+__all__ = [
+    "ThroughputReport",
+    "VRDAPerformanceModel",
+    "WorkloadProfile",
+    "LoadBalanceSimulator",
+    "RegionLoad",
+]

@@ -1,0 +1,89 @@
+"""Replicate-region load-balancing simulation (Figure 14).
+
+With a hoisted allocator, replicate regions receive new threads only when
+they free an allocation buffer, which creates a throughput-proportional
+feedback loop.  This module simulates that allocator at the granularity of
+thread service times: ``regions`` servers with different service rates share
+one buffer pool; work is admitted round-robin into free buffers and each
+region's share of the total input is reported — the quantity plotted in
+Figure 14.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class RegionLoad:
+    """Per-region share of the admitted work."""
+
+    region: int
+    threads: int
+    share_percent: float
+
+
+class LoadBalanceSimulator:
+    """Discrete-event model of a hoisted allocator feeding replicate regions."""
+
+    def __init__(self, regions: int = 8, buffers: int = 64,
+                 base_service_time: float = 1.0, slow_region: int = 0,
+                 slow_factor: float = 1.3):
+        self.regions = regions
+        self.buffers = buffers
+        self.service_times = [
+            base_service_time * (slow_factor if r == slow_region else 1.0)
+            for r in range(regions)
+        ]
+
+    def run(self, total_threads: int, hoisted: bool = True) -> List[RegionLoad]:
+        """Distribute ``total_threads`` and return per-region load shares.
+
+        ``hoisted=False`` models Plasticine-style fixed work partitioning,
+        where every region is statically assigned an equal share regardless
+        of its throughput.
+        """
+        counts = [0] * self.regions
+        if not hoisted:
+            for i in range(total_threads):
+                counts[i % self.regions] += 1
+        else:
+            # Buffered admission: while free buffers exist, threads go to the
+            # next region round-robin; afterwards a thread is admitted to
+            # whichever region frees a buffer first (completion order).
+            free = [self.buffers // self.regions] * self.regions
+            events: List[tuple] = []  # (completion_time, region)
+            clock = 0.0
+            rr = 0
+            remaining = total_threads
+            while remaining > 0:
+                if any(free):
+                    while free[rr] == 0:
+                        rr = (rr + 1) % self.regions
+                    region = rr
+                    rr = (rr + 1) % self.regions
+                else:
+                    clock, region = heapq.heappop(events)
+                    free[region] += 1
+                    continue
+                free[region] -= 1
+                counts[region] += 1
+                remaining -= 1
+                heapq.heappush(events, (clock + self.service_times[region], region))
+                if events and not any(free):
+                    clock, finished = heapq.heappop(events)
+                    free[finished] += 1
+        total = max(1, sum(counts))
+        return [RegionLoad(region=r, threads=c, share_percent=100.0 * c / total)
+                for r, c in enumerate(counts)]
+
+    def completion_time(self, loads: List[RegionLoad]) -> float:
+        """Makespan for a given assignment (used for the 21% slowdown claim)."""
+        return max(load.threads * self.service_times[load.region]
+                   for load in loads)
+
+    def sweep(self, sizes: List[int]) -> Dict[int, List[RegionLoad]]:
+        """Figure 14's x-axis sweep over input sizes."""
+        return {size: self.run(size) for size in sizes}

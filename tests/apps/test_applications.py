@@ -1,0 +1,41 @@
+"""Correctness tests: every Table III application vs its reference oracle."""
+
+import pytest
+
+from repro.apps import REGISTRY, TABLE3_APPS, check_app, run_app
+from repro.compiler import CompileOptions
+
+
+@pytest.mark.parametrize("name", TABLE3_APPS + ["strlen"])
+def test_app_registered_and_described(name):
+    spec = REGISTRY.get(name)
+    assert spec.source.strip()
+    assert spec.key_features
+    assert spec.bytes_per_thread > 0
+
+
+@pytest.mark.parametrize("name", TABLE3_APPS + ["strlen"])
+def test_app_matches_reference(name):
+    spec = REGISTRY.get(name)
+    assert check_app(spec, n_threads=8, seed=1), f"{name} output mismatch"
+
+
+@pytest.mark.parametrize("name", ["isipv4", "hash-table", "kD-tree"])
+def test_app_matches_reference_unoptimized(name):
+    spec = REGISTRY.get(name)
+    assert check_app(spec, n_threads=6, seed=2, options=CompileOptions.none())
+
+
+@pytest.mark.parametrize("name", TABLE3_APPS)
+def test_app_second_seed(name):
+    spec = REGISTRY.get(name)
+    assert check_app(spec, n_threads=5, seed=7)
+
+
+def test_profiles_expose_dram_traffic():
+    spec = REGISTRY.get("murmur3")
+    instance = spec.generate(4, 3)
+    executor = run_app(spec, instance, profile=True)
+    stats = instance.memory.stats
+    assert stats.dram_read_bytes >= 4 * 64  # each thread reads a 64 B blob
+    assert executor.profile.loop_iterations  # the while loop was profiled

@@ -1,0 +1,375 @@
+"""Tests for structured dataflow graphs and the functional executor."""
+
+import pytest
+
+from repro.core.executor import Executor, run_graph, zip_streams, unzip_stream
+from repro.core.graph import DFGraph, DFNode, OPCODES
+from repro.core.machine import LinkKind
+from repro.core.memory import MemorySystem
+from repro.core.sltf import Barrier, Data, data_values, decode, encode
+from repro.errors import GraphError
+
+
+def build_add_one_graph():
+    g = DFGraph("add_one")
+    x = g.add_input("x")
+    one = g.add_node("const", [x], params={"value": 1}, name="one")
+    add = g.add_node("compute", [x, one.outputs[0]], params={"fn": "add"}, name="y")
+    g.set_outputs([add.outputs[0]])
+    return g
+
+
+class TestGraphConstruction:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(GraphError):
+            DFNode(op="bogus")
+
+    def test_verify_passes_for_valid_graph(self):
+        g = build_add_one_graph()
+        g.verify()
+
+    def test_topo_order_detects_undefined_inputs(self):
+        g = DFGraph()
+        orphan = g.add_node("const", [g.add_input("a")], params={"value": 1})
+        # Fabricate a node that uses a value never defined in this graph.
+        other = DFGraph()
+        foreign = other.add_input("foreign")
+        g.add_node("compute", [foreign], params={"fn": "copy"})
+        with pytest.raises(GraphError):
+            g.topo_order()
+
+    def test_verify_checks_output_defined(self):
+        g = DFGraph()
+        x = g.add_input("x")
+        other = DFGraph()
+        g.set_outputs([other.add_input("y")])
+        with pytest.raises(GraphError):
+            g.verify()
+
+    def test_verify_node_arities(self):
+        g = DFGraph()
+        x = g.add_input("x")
+        node = g.add_node("broadcast", [x], name="bad")
+        with pytest.raises(GraphError):
+            g.verify()
+
+    def test_opcode_table_covers_common_ops(self):
+        assert OPCODES["add"](2, 3) == 5
+        assert OPCODES["select"](1, 10, 20) == 10
+        assert OPCODES["select"](0, 10, 20) == 20
+        assert OPCODES["shr"](-1 & 0xFFFFFFFF, 28) == 0xF
+        assert OPCODES["not"](0) == 1
+
+    def test_fresh_names_are_unique(self):
+        g = DFGraph()
+        a = g.add_input("x")
+        b = g.add_input("x")
+        assert a.name != b.name
+
+    def test_count_ops_and_walk(self):
+        g = build_add_one_graph()
+        counts = g.count_ops()
+        assert counts == {"const": 1, "compute": 1}
+        assert len(list(g.walk())) == 2
+
+
+class TestExecutorBasics:
+    def test_elementwise_pipeline(self):
+        out = run_graph(build_add_one_graph(), {"x": [1, 2, 3]})
+        assert data_values(out["y"]) == [2, 3, 4]
+
+    def test_missing_input_raises(self):
+        with pytest.raises(GraphError):
+            run_graph(build_add_one_graph(), {})
+
+    def test_accepts_token_streams_and_nested_lists(self):
+        g = build_add_one_graph()
+        out = run_graph(g, {"x": encode([5], 1)})
+        assert data_values(out["y"]) == [6]
+        out = run_graph(g, {"x": [[1, 2], [3]]})
+        assert decode(out["y"], 2) == [[2, 3], [4]]
+
+    def test_zip_unzip_roundtrip(self):
+        a = encode([[1, 2], [3]], 2)
+        b = encode([[10, 20], [30]], 2)
+        zipped = zip_streams(a, b)
+        ra, rb = unzip_stream(zipped, 2)
+        assert ra == a and rb == b
+
+    def test_filter_node(self):
+        g = DFGraph()
+        x = g.add_input("x")
+        p = g.add_input("p")
+        f = g.add_node("filter", [x, p], name="kept")
+        g.set_outputs([f.outputs[0]])
+        out = run_graph(g, {"x": [1, 2, 3, 4], "p": [1, 0, 1, 0]})
+        assert data_values(out["kept"]) == [1, 3]
+
+    def test_counter_reduce_pipeline(self):
+        g = DFGraph()
+        lo = g.add_input("lo")
+        hi = g.add_input("hi")
+        step = g.add_input("step")
+        cnt = g.add_node("counter", [lo, hi, step], name="i")
+        red = g.add_node(
+            "reduce", [cnt.outputs[0]], params={"op": "add", "init": 0}, name="sum"
+        )
+        g.set_outputs([red.outputs[0]])
+        out = run_graph(g, {"lo": [0, 0], "hi": [4, 3], "step": [1, 1]})
+        assert data_values(out["sum"]) == [6, 3]
+
+    def test_forward_merge_node_keeps_threads_together(self):
+        g = DFGraph()
+        a0, a1 = g.add_input("a0"), g.add_input("a1")
+        b0, b1 = g.add_input("b0"), g.add_input("b1")
+        m = g.add_node(
+            "forward_merge", [a0, a1, b0, b1], num_outputs=2, params={"width": 2}
+        )
+        g.set_outputs(list(m.outputs))
+        out = run_graph(
+            g,
+            {"a0": [1, 2], "a1": [10, 20], "b0": [3], "b1": [30]},
+        )
+        pairs = set(zip(data_values(out[m.outputs[0].name]),
+                        data_values(out[m.outputs[1].name])))
+        assert pairs == {(1, 10), (2, 20), (3, 30)}
+
+    def test_fork_node(self):
+        g = DFGraph()
+        n = g.add_input("n")
+        v = g.add_input("v")
+        f = g.add_node("fork", [n, v], num_outputs=2, name="forked")
+        g.set_outputs(list(f.outputs))
+        g.verify()
+        out = run_graph(g, {"n": [2, 1], "v": [7, 9]})
+        assert data_values(out[f.outputs[0].name]) == [0, 1, 0]
+        assert data_values(out[f.outputs[1].name]) == [7, 7, 9]
+
+    def test_profile_records_links_and_firings(self):
+        g = build_add_one_graph()
+        ex = Executor(g)
+        ex.run({"x": [1, 2, 3]})
+        assert ex.profile.node_firings["compute"] == 1
+        assert any(p.elements == 3 for p in ex.profile.link_stats.values())
+
+
+class TestMemoryNodes:
+    def test_sram_alloc_read_write_free(self):
+        g = DFGraph()
+        trig = g.add_input("trig")
+        val = g.add_input("val")
+        alloc = g.add_node(
+            "sram_alloc", [trig], params={"site": "buf", "buffer_words": 4}, name="ptr"
+        )
+        addr = g.add_node(
+            "compute",
+            [alloc.outputs[0], g.add_node("const", [trig], params={"value": 4}).outputs[0]],
+            params={"fn": "mul"},
+            name="addr",
+        )
+        store = g.add_node(
+            "sram_write", [addr.outputs[0], val], params={"site": "buf"}, name="st"
+        )
+        load = g.add_node("sram_read", [addr.outputs[0]], params={"site": "buf"}, name="ld")
+        free = g.add_node("sram_free", [alloc.outputs[0]], params={"site": "buf"})
+        g.set_outputs([load.outputs[0]])
+        mem = MemorySystem()
+        out = run_graph(g, {"trig": [0, 0], "val": [11, 22]}, memory=mem)
+        # NOTE: reads observe the writes because nodes execute in topo order.
+        assert data_values(out["ld"]) == [11, 22]
+        assert mem.stats.allocations == 2
+        assert mem.stats.frees == 2
+
+    def test_dram_read_write_and_stats(self):
+        mem = MemorySystem()
+        seg = mem.dram_alloc("data", data=[5, 6, 7])
+        g = DFGraph()
+        addr = g.add_input("addr")
+        rd = g.add_node("dram_read", [addr], name="rd")
+        wr_val = g.add_node("compute", [rd.outputs[0]], params={"fn": "neg"}, name="nv")
+        out_addr = g.add_node(
+            "compute",
+            [addr, g.add_node("const", [addr], params={"value": 10}).outputs[0]],
+            params={"fn": "add"},
+            name="oaddr",
+        )
+        wr = g.add_node("dram_write", [out_addr.outputs[0], wr_val.outputs[0]], name="wr")
+        g.set_outputs([rd.outputs[0]])
+        mem.dram_alloc("out", size=16)
+        out = run_graph(g, {"addr": [seg.base, seg.base + 2]}, memory=mem)
+        assert data_values(out["rd"]) == [5, 7]
+        assert mem.stats.dram_reads == 2
+        assert mem.stats.dram_writes == 2
+
+    def test_bulk_load_store(self):
+        mem = MemorySystem()
+        src = mem.dram_alloc("src", data=list(range(8)))
+        dst = mem.dram_alloc("dst", size=8)
+        g = DFGraph()
+        base = g.add_input("base")
+        sram = g.add_input("sram")
+        load = g.add_node(
+            "bulk_load", [base, sram], params={"site": "tile", "size": 8}, name="ld"
+        )
+        dst_base = g.add_node("const", [load.outputs[0]], params={"value": dst.base})
+        store = g.add_node(
+            "bulk_store",
+            [dst_base.outputs[0], sram],
+            params={"site": "tile", "size": 8},
+            name="st",
+        )
+        g.set_outputs([store.outputs[0]])
+        run_graph(g, {"base": [src.base], "sram": [0]}, memory=mem)
+        assert mem.segment_data("dst") == list(range(8))
+
+
+class TestRegionNodes:
+    def test_while_region_collatz_steps(self):
+        # Count the 3n+1 steps for each input value.
+        g = DFGraph("collatz")
+        n = g.add_input("n")
+        steps = g.add_input("steps")
+
+        cond = DFGraph("cond")
+        cn = cond.add_input("n")
+        cs = cond.add_input("steps")
+        one = cond.add_node("const", [cn], params={"value": 1})
+        gt = cond.add_node("compute", [cn, one.outputs[0]], params={"fn": "gt"})
+        cond.set_outputs([gt.outputs[0]])
+
+        body = DFGraph("body")
+        bn = body.add_input("n")
+        bs = body.add_input("steps")
+        two = body.add_node("const", [bn], params={"value": 2})
+        odd = body.add_node("compute", [bn, two.outputs[0]], params={"fn": "rem"})
+        half = body.add_node("compute", [bn, two.outputs[0]], params={"fn": "div"})
+        three = body.add_node("const", [bn], params={"value": 3})
+        trip = body.add_node("compute", [bn, three.outputs[0]], params={"fn": "mul"})
+        one_b = body.add_node("const", [bn], params={"value": 1})
+        trip1 = body.add_node("compute", [trip.outputs[0], one_b.outputs[0]], params={"fn": "add"})
+        nxt = body.add_node(
+            "compute",
+            [odd.outputs[0], trip1.outputs[0], half.outputs[0]],
+            params={"fn": "select"},
+        )
+        s1 = body.add_node("compute", [bs, one_b.outputs[0]], params={"fn": "add"})
+        body.set_outputs([nxt.outputs[0], s1.outputs[0]])
+
+        loop = g.add_node("while", [n, steps], num_outputs=2, regions=[cond, body])
+        g.set_outputs([loop.outputs[1]])
+        g.verify()
+
+        out = run_graph(g, {"n": [6, 1, 7], "steps": [0, 0, 0]})
+
+        def collatz_steps(v):
+            c = 0
+            while v > 1:
+                v = 3 * v + 1 if v % 2 else v // 2
+                c += 1
+            return c
+
+        assert sorted(data_values(out[g.outputs[0].name])) == sorted(
+            collatz_steps(v) for v in [6, 1, 7]
+        )
+
+    def test_foreach_region_sum_of_squares(self):
+        g = DFGraph("sumsq")
+        n = g.add_input("n")
+        zero = g.add_node("const", [n], params={"value": 0})
+        one = g.add_node("const", [n], params={"value": 1})
+
+        body = DFGraph("body")
+        idx = body.add_input("i")
+        sq = body.add_node("compute", [idx, idx], params={"fn": "mul"})
+        body.set_outputs([sq.outputs[0]])
+
+        fe = g.add_node(
+            "foreach",
+            [zero.outputs[0], n, one.outputs[0]],
+            params={"reduce_op": "add", "reduce_init": 0},
+            regions=[body],
+            name="total",
+        )
+        g.set_outputs([fe.outputs[0]])
+        g.verify()
+        out = run_graph(g, {"n": [3, 5, 0]})
+        assert data_values(out["total"]) == [5, 30, 0]
+
+    def test_foreach_broadcasts_parent_values(self):
+        g = DFGraph("scaled")
+        n = g.add_input("n")
+        scale = g.add_input("scale")
+        zero = g.add_node("const", [n], params={"value": 0})
+        one = g.add_node("const", [n], params={"value": 1})
+
+        body = DFGraph("body")
+        idx = body.add_input("i")
+        s = body.add_input("scale")
+        prod = body.add_node("compute", [idx, s], params={"fn": "mul"})
+        body.set_outputs([prod.outputs[0]])
+
+        fe = g.add_node(
+            "foreach",
+            [zero.outputs[0], n, one.outputs[0], scale],
+            params={"reduce_op": "add", "reduce_init": 0},
+            regions=[body],
+            name="total",
+        )
+        g.set_outputs([fe.outputs[0]])
+        out = run_graph(g, {"n": [3, 2], "scale": [10, 100]})
+        assert data_values(out["total"]) == [30, 100]
+
+    def test_replicate_region_is_functionally_transparent(self):
+        g = DFGraph("rep")
+        x = g.add_input("x")
+        body = DFGraph("body")
+        bx = body.add_input("x")
+        doubled = body.add_node("compute", [bx, bx], params={"fn": "add"})
+        body.set_outputs([doubled.outputs[0]])
+        rep = g.add_node("replicate", [x], params={"factor": 4}, regions=[body], name="y")
+        g.set_outputs([rep.outputs[0]])
+        out = run_graph(g, {"x": [1, 2, 3]})
+        assert data_values(out["y"]) == [2, 4, 6]
+
+    def test_nested_while_inside_foreach(self):
+        # For each parent n, count total iterations of an inner countdown
+        # across children 0..n-1: sum over i of i equals n*(n-1)/2.
+        g = DFGraph("nested")
+        n = g.add_input("n")
+        zero = g.add_node("const", [n], params={"value": 0})
+        one = g.add_node("const", [n], params={"value": 1})
+
+        body = DFGraph("body")
+        idx = body.add_input("i")
+        zero_b = body.add_node("const", [idx], params={"value": 0})
+
+        cond = DFGraph("cond")
+        cv = cond.add_input("v")
+        cc = cond.add_input("count")
+        czero = cond.add_node("const", [cv], params={"value": 0})
+        cgt = cond.add_node("compute", [cv, czero.outputs[0]], params={"fn": "gt"})
+        cond.set_outputs([cgt.outputs[0]])
+
+        wbody = DFGraph("wbody")
+        wv = wbody.add_input("v")
+        wc = wbody.add_input("count")
+        wone = wbody.add_node("const", [wv], params={"value": 1})
+        dec = wbody.add_node("compute", [wv, wone.outputs[0]], params={"fn": "sub"})
+        inc = wbody.add_node("compute", [wc, wone.outputs[0]], params={"fn": "add"})
+        wbody.set_outputs([dec.outputs[0], inc.outputs[0]])
+
+        loop = body.add_node(
+            "while", [idx, zero_b.outputs[0]], num_outputs=2, regions=[cond, wbody]
+        )
+        body.set_outputs([loop.outputs[1]])
+
+        fe = g.add_node(
+            "foreach",
+            [zero.outputs[0], n, one.outputs[0]],
+            params={"reduce_op": "add", "reduce_init": 0},
+            regions=[body],
+            name="total",
+        )
+        g.set_outputs([fe.outputs[0]])
+        out = run_graph(g, {"n": [4, 1, 6]})
+        assert data_values(out["total"]) == [6, 0, 15]

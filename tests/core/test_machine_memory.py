@@ -1,0 +1,148 @@
+"""Tests for the machine model (Table II) and the memory system."""
+
+import pytest
+
+from repro.core.machine import (
+    DEFAULT_MACHINE,
+    ContextLimits,
+    LinkKind,
+    MachineConfig,
+    ResourceKind,
+    ResourceUsage,
+    V100_AREA_MM2,
+)
+from repro.core.memory import MemorySystem
+from repro.errors import MachineError
+
+
+class TestMachineConfig:
+    def test_table2_defaults(self):
+        m = DEFAULT_MACHINE
+        assert m.num_cus == 200 and m.num_mus == 200 and m.num_ags == 80
+        assert m.lanes == 16 and m.stages == 6
+        assert m.mu_capacity_bytes == 256 * 1024 and m.mu_banks == 16
+        assert m.network_vector_channels == 3 and m.network_scalar_channels == 6
+        assert m.dram_bandwidth_gbs == pytest.approx(900.0)
+        assert m.clock_ghz == pytest.approx(1.6)
+
+    def test_area_ratio_vs_v100(self):
+        assert V100_AREA_MM2 / DEFAULT_MACHINE.area_mm2 == pytest.approx(4.3, rel=0.05)
+
+    def test_derived_quantities(self):
+        m = DEFAULT_MACHINE
+        assert m.vector_bytes == 64
+        assert m.peak_vector_words_per_cycle == 16
+        assert m.peak_scalar_words_per_cycle == 1
+        assert m.mu_words == 64 * 1024
+        assert m.dram_bytes_per_cycle == pytest.approx(900.0 / 1.6)
+
+    def test_resource_total(self):
+        assert DEFAULT_MACHINE.resource_total(ResourceKind.CU) == 200
+        assert DEFAULT_MACHINE.resource_total(ResourceKind.AG) == 80
+
+    def test_validate_rejects_bad_configs(self):
+        with pytest.raises(MachineError):
+            MachineConfig(num_cus=0).validate()
+        with pytest.raises(MachineError):
+            MachineConfig(clock_ghz=0).validate()
+        DEFAULT_MACHINE.validate()
+
+    def test_context_limits_from_machine(self):
+        limits = ContextLimits.from_machine(DEFAULT_MACHINE)
+        assert limits.max_ops == 6
+        assert limits.max_vector_inputs == 4
+        assert limits.max_regs_per_lane == 36
+
+    def test_link_kind_values(self):
+        assert LinkKind.VECTOR.value == "vector"
+        assert LinkKind.SCALAR.value == "scalar"
+
+
+class TestResourceUsage:
+    def test_add_and_scale(self):
+        a = ResourceUsage(cu=2, mu=1, ag=0)
+        b = ResourceUsage(cu=1, mu=1, ag=1)
+        assert (a + b).as_dict() == {"CU": 3, "MU": 2, "AG": 1}
+        assert a.scaled(3).as_dict() == {"CU": 6, "MU": 3, "AG": 0}
+
+    def test_fits_and_utilization(self):
+        usage = ResourceUsage(cu=100, mu=50, ag=80)
+        assert usage.fits(DEFAULT_MACHINE)
+        util = usage.utilization(DEFAULT_MACHINE)
+        assert util["CU"] == pytest.approx(0.5)
+        assert usage.critical_resource(DEFAULT_MACHINE) == "AG"
+        assert not ResourceUsage(cu=300).fits(DEFAULT_MACHINE)
+
+
+class TestMemorySystem:
+    def test_dram_segments_and_rw(self):
+        mem = MemorySystem()
+        seg = mem.dram_alloc("a", data=[1, 2, 3])
+        other = mem.dram_alloc("b", size=4)
+        assert other.base >= seg.base + seg.size
+        assert mem.dram_read(seg.base + 1) == 2
+        mem.dram_write(other.base, 9)
+        assert mem.segment_data("b")[0] == 9
+        assert mem.stats.dram_reads == 1 and mem.stats.dram_writes == 1
+
+    def test_duplicate_segment_rejected(self):
+        mem = MemorySystem()
+        mem.dram_alloc("a", size=1)
+        with pytest.raises(MachineError):
+            mem.dram_alloc("a", size=1)
+
+    def test_unknown_segment_rejected(self):
+        with pytest.raises(MachineError):
+            MemorySystem().segment("nope")
+
+    def test_byte_segments_count_bytes_not_words(self):
+        mem = MemorySystem()
+        seg = mem.load_bytes("text", b"hello")
+        mem.dram_read(seg.base)
+        assert mem.stats.dram_read_bytes == 1
+        assert mem.read_bytes("text") == b"hello"
+
+    def test_sram_sites_alloc_free(self):
+        mem = MemorySystem()
+        p0 = mem.sram_alloc("site", buffer_words=8, max_buffers=2)
+        p1 = mem.sram_alloc("site")
+        assert {p0, p1} == {0, 1}
+        with pytest.raises(MachineError):
+            mem.sram_alloc("site")
+        mem.sram_free("site", p0)
+        assert mem.sram_alloc("site") == p0
+        with pytest.raises(MachineError):
+            mem.sram_free("site", 99)
+
+    def test_sram_read_write(self):
+        mem = MemorySystem()
+        mem.sram_write("s", 12, 99)
+        assert mem.sram_read("s", 12) == 99
+        assert mem.sram_read("s", 13) == 0
+
+    def test_bulk_transfers_count_dram_traffic(self):
+        mem = MemorySystem()
+        src = mem.dram_alloc("src", data=list(range(16)))
+        dst = mem.dram_alloc("dst", size=16)
+        mem.bulk_load("tile", src.base, 0, 16)
+        mem.bulk_store("tile", dst.base, 0, 16)
+        assert mem.segment_data("dst") == list(range(16))
+        assert mem.stats.dram_read_bytes == 64
+        assert mem.stats.dram_write_bytes == 64
+        assert mem.stats.bulk_loads == 1 and mem.stats.bulk_stores == 1
+
+    def test_site_high_water_tracking(self):
+        mem = MemorySystem()
+        site = mem.site("s", buffer_words=4, max_buffers=8)
+        a = mem.sram_alloc("s")
+        b = mem.sram_alloc("s")
+        mem.sram_free("s", a)
+        assert site.high_water == 2
+        assert site.words_in_use == 8
+
+    def test_stats_reset(self):
+        mem = MemorySystem()
+        mem.dram_alloc("a", data=[1])
+        mem.dram_read(0)
+        mem.stats.reset()
+        assert mem.stats.dram_reads == 0

@@ -1,0 +1,228 @@
+"""Tests for the AST -> IR front-end lowering."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.frontend import compile_source_to_ir
+from repro.ir import ops_named, print_module, verify
+
+
+def lower(src: str):
+    module = compile_source_to_ir(src)
+    verify(module)
+    return module
+
+
+class TestScalarLowering:
+    def test_arithmetic_and_constants(self):
+        module = lower("void f(int a) { int x = a * 2 + 1; }")
+        assert len(ops_named(module, "arith.muli")) == 1
+        assert len(ops_named(module, "arith.addi")) == 1
+        text = print_module(module)
+        assert "func.func" in text and 'sym_name = "f"' in text
+
+    def test_compound_assignment_desugars(self):
+        module = lower("void f(int a) { int x = 0; x += a; x++; }")
+        assert len(ops_named(module, "arith.addi")) == 2
+
+    def test_comparisons_and_logical_ops(self):
+        module = lower("void f(int a) { int x = a > 1 && a < 5 || a == 7; }")
+        assert len(ops_named(module, "arith.cmpi")) == 3
+        assert len(ops_named(module, "arith.andi")) == 1
+        assert len(ops_named(module, "arith.ori")) == 1
+
+    def test_ternary_and_intrinsics(self):
+        module = lower("void f(int a) { int x = a > 0 ? min(a, 3) : max(a, 5); }")
+        assert len(ops_named(module, "arith.select")) == 1
+        assert len(ops_named(module, "arith.minsi")) == 1
+        assert len(ops_named(module, "arith.maxsi")) == 1
+
+    def test_unary_operators(self):
+        module = lower("void f(int a) { int x = -a; int y = !a; int z = ~a; }")
+        assert len(ops_named(module, "arith.subi")) == 1
+        assert len(ops_named(module, "arith.xori")) == 1
+
+
+class TestControlFlowLowering:
+    def test_if_becomes_scf_if_with_carried_values(self):
+        module = lower(
+            "void f(int a) { int x = 0; if (a > 2) { x = 1; } else { x = 2; } int y = x; }"
+        )
+        ifs = ops_named(module, "scf.if")
+        assert len(ifs) == 1
+        assert len(ifs[0].results) == 1  # x is carried out
+        then_yield = ifs[0].region(0).entry.terminator
+        assert then_yield.name == "scf.yield" and len(then_yield.operands) == 1
+
+    def test_if_without_else_still_yields(self):
+        module = lower("void f(int a) { int x = 0; if (a) { x = 5; } int y = x; }")
+        if_op = ops_named(module, "scf.if")[0]
+        else_yield = if_op.region(1).entry.terminator
+        assert else_yield.name == "scf.yield" and len(else_yield.operands) == 1
+
+    def test_while_becomes_scf_while_with_loop_carried_values(self):
+        module = lower(
+            "void f(int n) { int i = 0; int s = 0; while (i < n) { s = s + i; i++; } }"
+        )
+        loops = ops_named(module, "scf.while")
+        assert len(loops) == 1
+        loop = loops[0]
+        assert len(loop.operands) == 2  # i and s are carried
+        before = loop.region(0).entry
+        assert before.terminator.name == "scf.condition"
+        after = loop.region(1).entry
+        assert after.terminator.name == "scf.yield"
+        assert len(after.terminator.operands) == 2
+
+    def test_nested_while_inside_if(self):
+        module = lower(
+            """
+            void f(int n) {
+              int x = 0;
+              if (n > 0) {
+                while (x < n) { x++; };
+              }
+            }
+            """
+        )
+        if_op = ops_named(module, "scf.if")[0]
+        assert len(ops_named(if_op, "scf.while")) == 1
+
+
+class TestParallelLowering:
+    def test_foreach_and_replicate(self):
+        module = lower(
+            """
+            void f(int count) {
+              foreach (count by 8) { int i =>
+                int acc = 0;
+                replicate (4) {
+                  acc = acc + i;
+                };
+                int done = acc;
+              };
+            }
+            """
+        )
+        fe = ops_named(module, "revet.foreach")
+        assert len(fe) == 1
+        assert len(fe[0].region(0).entry.args) == 1
+        rep = ops_named(module, "revet.replicate")
+        assert len(rep) == 1
+        assert rep[0].attrs["factor"] == 4
+        assert len(rep[0].results) == 1  # acc is live out
+
+    def test_fork_and_exit(self):
+        module = lower(
+            """
+            void f(int n) {
+              foreach (n) { int i =>
+                int t = fork(3);
+                if (t == 0) { exit(); }
+              };
+            }
+            """
+        )
+        assert len(ops_named(module, "revet.fork")) == 1
+        assert len(ops_named(module, "revet.exit")) == 1
+
+    def test_pragma_emitted(self):
+        module = lower(
+            "void f(int n) { foreach (n) { int i => pragma(eliminate_hierarchy); int x = i; }; }"
+        )
+        assert ops_named(module, "revet.pragma")[0].attrs["name"] == "eliminate_hierarchy"
+
+
+class TestMemoryLowering:
+    def test_dram_globals_and_refs(self):
+        module = lower(
+            """
+            DRAM<char> input;
+            DRAM<int> output;
+            void main(int n) { int x = input[n]; output[n] = x; }
+            """
+        )
+        globals_ = ops_named(module, "revet.dram_global")
+        assert {g.attrs["sym_name"] for g in globals_} == {"input", "output"}
+        assert globals_[0].attrs["element_width"] in (8, 32)
+        assert len(ops_named(module, "revet.dram_load")) == 1
+        assert len(ops_named(module, "revet.dram_store")) == 1
+
+    def test_sram_and_views(self):
+        module = lower(
+            """
+            DRAM<int> offsets;
+            DRAM<int> lengths;
+            void main(int n) {
+              SRAM<256> buf;
+              buf[0] = n;
+              int y = buf[0];
+              ReadView<64> rv(offsets, n);
+              WriteView<64> wv(lengths, n);
+              int v = rv[1];
+              wv[1] = v;
+            }
+            """
+        )
+        assert len(ops_named(module, "memref.alloc")) == 1
+        assert len(ops_named(module, "memref.load")) == 1
+        assert len(ops_named(module, "memref.store")) == 1
+        views = ops_named(module, "revet.view_new")
+        assert {v.attrs["kind"] for v in views} == {"ReadView", "WriteView"}
+        assert len(ops_named(module, "revet.view_load")) == 1
+        assert len(ops_named(module, "revet.view_store")) == 1
+
+    def test_iterators(self):
+        module = lower(
+            """
+            DRAM<char> text;
+            DRAM<char> out;
+            void main(int n) {
+              ReadIt<64> it(text, n);
+              ManualWriteIt<16> w(out, n);
+              while (*it) { *w = *it; it++; w++; };
+              flush(w);
+            }
+            """
+        )
+        its = ops_named(module, "revet.it_new")
+        assert {i.attrs["kind"] for i in its} == {"ReadIt", "ManualWriteIt"}
+        assert len(ops_named(module, "revet.it_deref")) == 2
+        assert len(ops_named(module, "revet.it_advance")) == 2
+        assert len(ops_named(module, "revet.it_put")) == 1
+        assert len(ops_named(module, "revet.it_flush")) == 1
+
+    def test_strlen_figure7_lowering(self):
+        module = lower(
+            """
+            DRAM<char> input;
+            DRAM<int> offsets;
+            DRAM<int> lengths;
+            void main(int count) {
+              foreach (count by 1024) { int outer =>
+                ReadView<1024> in_view(offsets, outer);
+                WriteView<1024> out_view(lengths, outer);
+                foreach (1024) { int idx =>
+                  pragma(eliminate_hierarchy);
+                  int len = 0;
+                  int off = in_view[idx];
+                  replicate (4) {
+                    ReadIt<64> it(input, off);
+                    while (*it) { len++; it++; };
+                  };
+                  out_view[idx] = len;
+                };
+              };
+            }
+            """
+        )
+        assert len(ops_named(module, "revet.foreach")) == 2
+        assert len(ops_named(module, "revet.replicate")) == 1
+        assert len(ops_named(module, "scf.while")) == 1
+        # len is carried through the while loop and out of the replicate.
+        rep = ops_named(module, "revet.replicate")[0]
+        assert len(rep.results) == 1
+
+    def test_string_literal_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source_to_ir('void f(int n) { int x = "nope"; }')

@@ -1,0 +1,308 @@
+"""Tests for the IR infrastructure: types, ops, regions, builder, verifier."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Builder,
+    I1,
+    I32,
+    IntType,
+    MemRefType,
+    Module,
+    Operation,
+    PassManager,
+    Pass,
+    print_module,
+    verify,
+    walk_ops,
+    ops_named,
+)
+from repro.ir.core import DRAMType, FunctionType, ViewType, VoidType, parent_of_type
+from repro.ir.dialects import arith, func, memref, revet, scf
+from repro.ir.dialects.registry import is_terminator, op_info
+
+
+def build_simple_func():
+    """func @main(%a: i32) { %c = a + 1; return }"""
+    module = Module("test")
+    f = func.func(module, "main", [I32], [], arg_names=["a"])
+    b = Builder()
+    b.set_insertion_point_to_end(func.entry_block(f))
+    one = arith.constant(b, 1)
+    total = arith.addi(b, func.entry_block(f).args[0], one)
+    func.ret(b)
+    return module, f, total
+
+
+class TestTypes:
+    def test_int_widths(self):
+        assert repr(IntType(8)) == "i8"
+        with pytest.raises(IRError):
+            IntType(7)
+
+    def test_type_equality_and_hash(self):
+        assert IntType(32) == IntType(32)
+        assert IntType(32) != IntType(16)
+        assert hash(MemRefType(4)) == hash(MemRefType(4))
+        assert MemRefType(4) != MemRefType(8)
+        assert DRAMType(IntType(8)) == DRAMType(IntType(8))
+        assert ViewType("ReadIt", 64) == ViewType("ReadIt", 64)
+        assert VoidType() == VoidType()
+
+    def test_function_type_repr(self):
+        t = FunctionType([I32], [I1])
+        assert "i32" in repr(t) and "i1" in repr(t)
+
+
+class TestOperations:
+    def test_op_requires_dialect_prefix(self):
+        with pytest.raises(IRError):
+            Operation("addi")
+
+    def test_results_and_uses(self):
+        module, f, total = build_simple_func()
+        const_op = total.owner.operands[1].owner
+        assert const_op.name == "arith.constant"
+        assert total.owner in const_op.result().uses
+        assert const_op.result().num_uses == 1
+
+    def test_replace_all_uses_with(self):
+        module, f, total = build_simple_func()
+        entry = func.entry_block(f)
+        b = Builder()
+        b.set_insertion_point_before(total.owner)
+        two = arith.constant(b, 2)
+        old = total.owner.operands[1]
+        old.replace_all_uses_with(two)
+        assert total.owner.operands[1] is two
+        assert old.num_uses == 0
+
+    def test_erase_requires_no_uses(self):
+        module, f, total = build_simple_func()
+        const_op = total.owner.operands[1].owner
+        with pytest.raises(IRError):
+            const_op.erase()
+        total.owner.erase()
+        const_op.erase()
+        assert const_op not in func.entry_block(f).operations
+
+    def test_clone_remaps_operands_and_regions(self):
+        module = Module()
+        f = func.func(module, "main", [I32], [])
+        b = Builder()
+        b.set_insertion_point_to_end(func.entry_block(f))
+        cond = arith.cmpi(b, "sgt", func.entry_block(f).args[0], arith.constant(b, 0))
+        if_op = scf.if_(b, cond, [I32])
+        tb = Builder()
+        tb.set_insertion_point_to_end(scf.then_block(if_op))
+        scf.yield_(tb, [arith.constant(tb, 1)])
+        eb = Builder()
+        eb.set_insertion_point_to_end(scf.else_block(if_op))
+        scf.yield_(eb, [arith.constant(eb, 2)])
+        func.ret(b)
+
+        clone = if_op.clone({})
+        assert clone.name == "scf.if"
+        assert len(clone.regions) == 2
+        assert clone.region(0).entry.terminator.name == "scf.yield"
+        # Cloned region ops are new objects.
+        assert clone.region(0).entry.operations[0] is not if_op.region(0).entry.operations[0]
+
+    def test_walk_and_ops_named(self):
+        module, f, total = build_simple_func()
+        assert len(ops_named(module, "arith.constant")) == 1
+        names = [op.name for op in walk_ops(module)]
+        assert "func.func" in names and "arith.addi" in names
+
+    def test_parent_of_type(self):
+        module = Module()
+        f = func.func(module, "main", [], [])
+        b = Builder()
+        b.set_insertion_point_to_end(func.entry_block(f))
+        rep = revet.replicate(b, 4)
+        rb = Builder()
+        rb.set_insertion_point_to_end(rep.region(0).entry)
+        c = arith.constant(rb, 3)
+        revet.yield_(rb)
+        func.ret(b)
+        assert parent_of_type(c.owner, "revet.replicate") is rep
+        assert parent_of_type(c.owner, "func.func") is f
+        assert parent_of_type(rep, "revet.replicate") is None
+
+
+class TestBuilder:
+    def test_insertion_points(self):
+        module, f, total = build_simple_func()
+        entry = func.entry_block(f)
+        b = Builder()
+        b.set_insertion_point_before(total.owner)
+        marker = arith.constant(b, 42)
+        assert entry.operations.index(marker.owner) == entry.operations.index(total.owner) - 1
+        b.set_insertion_point_after(total.owner)
+        marker2 = arith.constant(b, 43)
+        assert entry.operations.index(marker2.owner) == entry.operations.index(total.owner) + 1
+
+    def test_detached_creation(self):
+        b = Builder()
+        op = b.create_detached("arith.constant", [], [I32], {"value": 3})
+        assert op.parent is None
+        with pytest.raises(IRError):
+            b.insert(op)  # no insertion block set
+
+
+class TestDialectHelpers:
+    def test_arith_helpers(self):
+        module, f, _ = build_simple_func()
+        b = Builder()
+        b.set_insertion_point_to_end(func.entry_block(f))
+        x = arith.constant(b, 10)
+        y = arith.constant(b, 3)
+        assert arith.binary(b, "muli", x, y).owner.name == "arith.muli"
+        assert arith.cmpi(b, "slt", x, y).type == I1
+        assert arith.select(b, arith.cmpi(b, "eq", x, y), x, y).type == I32
+        widened = arith.cast(b, x, IntType(8))
+        assert widened.type == IntType(8)
+        assert arith.cast(b, x, IntType(32)) is x
+        with pytest.raises(IRError):
+            arith.binary(b, "bogus", x, y)
+        with pytest.raises(IRError):
+            arith.cmpi(b, "wrong", x, y)
+
+    def test_memref_helpers(self):
+        module = Module()
+        f = func.func(module, "m", [], [])
+        b = Builder()
+        b.set_insertion_point_to_end(func.entry_block(f))
+        buf = memref.alloc(b, 16, name="tile")
+        idx = arith.constant(b, 2)
+        val = arith.constant(b, 7)
+        memref.store(b, val, buf, idx)
+        loaded = memref.load(b, buf, idx)
+        memref.dealloc(b, buf)
+        func.ret(b)
+        assert isinstance(buf.type, MemRefType) and buf.type.size == 16
+        assert loaded.type == I32
+        verify(module)
+
+    def test_scf_while_shape(self):
+        module = Module()
+        f = func.func(module, "w", [I32], [])
+        b = Builder()
+        b.set_insertion_point_to_end(func.entry_block(f))
+        init = func.entry_block(f).args[0]
+        loop = scf.while_(b, [init])
+        before, after = scf.before_block(loop), scf.after_block(loop)
+        bb = Builder()
+        bb.set_insertion_point_to_end(before)
+        cond = arith.cmpi(bb, "sgt", before.args[0], arith.constant(bb, 0))
+        scf.condition(bb, cond, [before.args[0]])
+        ab = Builder()
+        ab.set_insertion_point_to_end(after)
+        dec = arith.subi(ab, after.args[0], arith.constant(ab, 1))
+        scf.yield_(ab, [dec])
+        func.ret(b)
+        verify(module)
+
+    def test_revet_helpers(self):
+        module = Module()
+        revet.dram_global(module, "input", element_width=8)
+        f = func.func(module, "main", [I32], [])
+        b = Builder()
+        b.set_insertion_point_to_end(func.entry_block(f))
+        dram = revet.dram_ref(b, "input", element_width=8)
+        it = revet.it_new(b, "ReadIt", 64, dram, func.entry_block(f).args[0])
+        v = revet.it_deref(b, it)
+        revet.it_advance(b, it)
+        fe = revet.foreach(b, func.entry_block(f).args[0], arith.constant(b, 1))
+        fb = Builder()
+        fb.set_insertion_point_to_end(fe.region(0).entry)
+        revet.yield_(fb)
+        func.ret(b)
+        assert isinstance(dram.type, DRAMType)
+        assert isinstance(it.type, ViewType) and it.type.kind == "ReadIt"
+        assert len(fe.region(0).entry.args) == 1
+        verify(module)
+
+
+class TestVerifier:
+    def test_missing_required_attr(self):
+        module = Module()
+        module.append(Operation("revet.dram_global", attrs={"sym_name": "x"}))
+        with pytest.raises(IRError):
+            verify(module)
+
+    def test_unregistered_op(self):
+        module = Module()
+        module.append(Operation("bogus.op"))
+        with pytest.raises(IRError):
+            verify(module)
+
+    def test_function_must_return(self):
+        module = Module()
+        func.func(module, "broken", [], [])
+        with pytest.raises(IRError):
+            verify(module)
+
+    def test_operand_count_enforced(self):
+        module = Module()
+        f = func.func(module, "m", [I32], [])
+        b = Builder()
+        b.set_insertion_point_to_end(func.entry_block(f))
+        a = func.entry_block(f).args[0]
+        op = Operation("arith.addi", operands=[a], result_types=[I32])
+        func.entry_block(f).append(op)
+        func.ret(b)
+        with pytest.raises(IRError):
+            verify(module)
+
+    def test_while_region_terminators_enforced(self):
+        module = Module()
+        f = func.func(module, "w", [I32], [])
+        b = Builder()
+        b.set_insertion_point_to_end(func.entry_block(f))
+        loop = scf.while_(b, [func.entry_block(f).args[0]])
+        func.ret(b)
+        with pytest.raises(IRError):
+            verify(module)
+
+    def test_module_lookup(self):
+        module, f, _ = build_simple_func()
+        assert module.function("main") is f
+        with pytest.raises(IRError):
+            module.function("nope")
+
+
+class TestPrinterAndPassManager:
+    def test_printer_output_contains_ops(self):
+        module, f, _ = build_simple_func()
+        text = print_module(module)
+        assert "func.func" in text
+        assert "arith.addi" in text
+        assert "%a: i32" in text
+
+    def test_pass_manager_runs_and_times(self):
+        module, f, _ = build_simple_func()
+
+        class CountConstants(Pass):
+            name = "count-constants"
+
+            def __init__(self):
+                self.count = 0
+
+            def run(self, mod):
+                self.count = len(ops_named(mod, "arith.constant"))
+                return False
+
+        p = CountConstants()
+        pm = PassManager().add(p)
+        pm.run(module)
+        assert p.count == 1
+        assert pm.timings[0].name == "count-constants"
+        assert "count-constants" in pm.describe()
+
+    def test_registry_metadata(self):
+        assert is_terminator("scf.yield")
+        assert not is_terminator("arith.addi")
+        assert op_info("arith.cmpi").required_attrs == ("predicate",)
+        assert op_info("nope.nope") is None

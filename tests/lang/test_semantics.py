@@ -1,0 +1,160 @@
+"""Tests for Revet semantic analysis."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.parser import parse
+from repro.lang.semantics import check
+
+
+def analyze(src: str):
+    return check(parse(src))
+
+
+class TestValidPrograms:
+    def test_strlen_like_program(self):
+        result = analyze(
+            """
+            DRAM<char> input;
+            DRAM<int> offsets;
+            DRAM<int> lengths;
+            void main(int count) {
+              foreach (count by 1024) { int outer =>
+                ReadView<1024> in_view(offsets, outer);
+                WriteView<1024> out_view(lengths, outer);
+                foreach (1024) { int idx =>
+                  pragma(eliminate_hierarchy);
+                  int len = 0;
+                  int off = in_view[idx];
+                  replicate (4) {
+                    ReadIt<64> it(input, off);
+                    while (*it) { len++; it++; };
+                  };
+                  out_view[idx] = len;
+                };
+              };
+            }
+            """
+        )
+        assert result.dram_names == {"input", "offsets", "lengths"}
+        assert result.max_foreach_depth == 2
+        assert "eliminate_hierarchy" in result.pragmas
+
+    def test_fork_and_exit_inside_parallel(self):
+        result = analyze(
+            """
+            DRAM<int> data;
+            void main(int n) {
+              foreach (n) { int i =>
+                int t = fork(4);
+                if (t > 2) { exit(); }
+                int v = data[t];
+              };
+            }
+            """
+        )
+        assert result.uses_fork and result.uses_exit
+
+    def test_peek_intrinsic(self):
+        analyze(
+            """
+            DRAM<char> text;
+            void main(int n) {
+              foreach (n) { int i =>
+                PeekReadIt<64> it(text, i);
+                int c = peek(it, 3);
+              };
+            }
+            """
+        )
+
+
+class TestRejectedPrograms:
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError):
+            analyze("void main(int n) { int x = y + 1; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(SemanticError):
+            analyze("void main(int n) { int x = 1; int x = 2; }")
+
+    def test_unknown_dram(self):
+        with pytest.raises(SemanticError):
+            analyze("void main(int n) { ReadIt<64> it(missing, n); }")
+
+    def test_write_to_readonly_iterator(self):
+        with pytest.raises(SemanticError):
+            analyze(
+                """
+                DRAM<char> text;
+                void main(int n) { ReadIt<64> it(text, n); *it = 3; }
+                """
+            )
+
+    def test_read_from_writeonly_view(self):
+        with pytest.raises(SemanticError):
+            analyze(
+                """
+                DRAM<int> out;
+                void main(int n) { WriteView<16> v(out, n); int x = v[0]; }
+                """
+            )
+
+    def test_store_to_readview(self):
+        with pytest.raises(SemanticError):
+            analyze(
+                """
+                DRAM<int> data;
+                void main(int n) { ReadView<16> v(data, n); v[0] = 1; }
+                """
+            )
+
+    def test_exit_outside_parallel_region(self):
+        with pytest.raises(SemanticError):
+            analyze("void main(int n) { exit(); }")
+
+    def test_fork_outside_parallel_region(self):
+        with pytest.raises(SemanticError):
+            analyze("void main(int n) { int t = fork(2); }")
+
+    def test_return_inside_foreach(self):
+        with pytest.raises(SemanticError):
+            analyze("void main(int n) { foreach (n) { int i => return; }; }")
+
+    def test_unknown_call(self):
+        with pytest.raises(SemanticError):
+            analyze("void main(int n) { int x = launch(n); }")
+
+    def test_assign_to_iterator_name(self):
+        with pytest.raises(SemanticError):
+            analyze(
+                """
+                DRAM<char> text;
+                void main(int n) { ReadIt<64> it(text, n); it = 3; }
+                """
+            )
+
+    def test_flush_requires_iterator(self):
+        with pytest.raises(SemanticError):
+            analyze("void main(int n) { flush(n); }")
+
+    def test_bad_replicate_factor(self):
+        with pytest.raises(SemanticError):
+            analyze("void main(int n) { replicate (0) { int x = 1; } }")
+
+    def test_zero_size_sram(self):
+        with pytest.raises(SemanticError):
+            analyze("void main(int n) { SRAM<0> buf; }")
+
+    def test_empty_program(self):
+        with pytest.raises(SemanticError):
+            analyze("DRAM<int> x;")
+
+    def test_increment_of_view(self):
+        with pytest.raises(SemanticError):
+            analyze(
+                """
+                DRAM<int> d;
+                void main(int n) { ReadView<8> v(d, n); v++; }
+                """
+            )
