@@ -1,0 +1,66 @@
+"""E8 — serving-engine throughput: cold vs warm cache on a repeated trace.
+
+A 100-request trace over a small repeated app set is replayed twice:
+
+* **cold**: caching disabled, so every request pays the full Figure-8
+  compile pipeline plus functional execution (the seed repo's behaviour);
+* **warm**: program + result tiers enabled and pre-warmed, so repeats are
+  served from the content-addressed caches.
+
+The warm tier must sustain at least 5x the cold requests/sec.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.eval import format_rows
+from repro.runtime import Engine, ProgramCache, TraceConfig, synthetic_trace
+
+TRACE = TraceConfig(
+    size=100,
+    apps=["hash-table", "search"],
+    backend_mix={"vrda": 1.0},
+    distinct_shapes=2,
+    n_threads=2,
+    seed=7,
+)
+
+
+def _cold_engine() -> Engine:
+    # max_batch_size=1 also defeats batch amortization, so cold really is
+    # one full compile pipeline per request (the seed repo's behaviour).
+    return Engine(program_cache=ProgramCache(capacity=0),
+                  result_cache_capacity=0, max_batch_size=1)
+
+
+def _replay(engine: Engine) -> float:
+    """Replay the trace once; returns requests/sec."""
+    requests = synthetic_trace(TRACE)
+    started = time.perf_counter()
+    responses = engine.process(requests)
+    elapsed = time.perf_counter() - started
+    assert len(responses) == TRACE.size
+    assert all(r.ok for r in responses)
+    assert all(r.correct for r in responses)
+    return TRACE.size / max(elapsed, 1e-9)
+
+
+def test_runtime_throughput_cold_vs_warm(benchmark):
+    cold_rps = _replay(_cold_engine())
+
+    warm_engine = Engine()
+    _replay(warm_engine)  # fill both cache tiers
+    warm_rps = run_once(benchmark, _replay, warm_engine)
+
+    stats = warm_engine.program_cache_stats
+    assert stats.hit_rate > 0.8  # repeated-app trace stays cache-resident
+    assert warm_engine.result_cache_stats.hits > 0
+
+    rows = [
+        {"tier": "cold (no caches)", "requests_per_s": round(cold_rps, 1)},
+        {"tier": "warm (program+result)", "requests_per_s": round(warm_rps, 1)},
+        {"tier": "speedup", "requests_per_s": f"{warm_rps / cold_rps:.1f}x"},
+    ]
+    print("\n" + format_rows(rows))
+    assert warm_rps >= 5 * cold_rps

@@ -1,0 +1,9 @@
+"""Legacy-tooling shim: all metadata lives in pyproject.toml.
+
+Lets ``pip install -e .`` fall back to ``setup.py develop`` on toolchains
+too old for PEP 660 editable wheels (e.g. no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -8,9 +8,12 @@ The public API is organized in layers:
   lowering into the IR.
 * :mod:`repro.ir` / :mod:`repro.passes` / :mod:`repro.dataflow` — the
   MLIR-style IR, optimization passes, and control-flow-to-dataflow lowering.
-* :mod:`repro.sim` — the cycle-level vRDA performance model.
+* :mod:`repro.sim` — the cycle-level vRDA performance model and the shared
+  work-admission policies.
 * :mod:`repro.apps`, :mod:`repro.baselines`, :mod:`repro.eval` — the paper's
   applications, baselines, and experiment harness.
+* :mod:`repro.runtime` — the cached, batched, multi-worker serving engine
+  layered over the compiler and executor.
 """
 
 __version__ = "0.1.0"

@@ -47,9 +47,18 @@ class AppSpec:
     output_segment: str = "out"
     #: Bytes processed per "element" when reporting throughput.
     replicate_factor: int = 1
+    #: Whether the serving engine (:mod:`repro.runtime`) may accept requests
+    #: for this app by name.  Servable apps need a deterministic ``generate``.
+    servable: bool = True
 
     def compile(self, options: Optional[CompileOptions] = None) -> CompiledProgram:
         return compile_source(self.source, options=options)
+
+    def make_instance(self, n_threads: int, seed: int = 0) -> "AppInstance":
+        """Generate one deterministic problem instance (serving entry point)."""
+        if self.generate is None:
+            raise KeyError(f"app '{self.name}' has no input generator")
+        return self.generate(n_threads, seed)
 
 
 @dataclass
@@ -75,8 +84,23 @@ class AppRegistry:
     def get(self, name: str) -> AppSpec:
         return self._apps[name]
 
+    def get_servable(self, name: str) -> AppSpec:
+        """Resolve a serving-engine request target by app name."""
+        if name not in self._apps:
+            raise KeyError(
+                f"unknown app '{name}'; servable apps: {self.servable_names()}")
+        spec = self._apps[name]
+        if not spec.servable or spec.generate is None:
+            raise KeyError(f"app '{name}' is not servable")
+        return spec
+
     def names(self) -> List[str]:
         return list(self._apps.keys())
+
+    def servable_names(self) -> List[str]:
+        """Apps the serving engine accepts by name."""
+        return [name for name, spec in self._apps.items()
+                if spec.servable and spec.generate is not None]
 
     def all(self) -> List[AppSpec]:
         return list(self._apps.values())

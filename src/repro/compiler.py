@@ -14,7 +14,7 @@ the resource/performance models in :mod:`repro.dataflow` and :mod:`repro.sim`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields, replace
 from typing import List, Optional, Sequence
 
 from repro.dataflow.lowering import CompiledProgram, lower_to_dataflow
@@ -32,9 +32,15 @@ from repro.passes.bufferize_replicate import BufferizeReplicatePass
 from repro.passes.subword_packing import SubwordPackingPass
 
 
-@dataclass
+@dataclass(frozen=True)
 class CompileOptions:
-    """Which optional optimization passes to run (Figure 12's knobs)."""
+    """Which optional optimization passes to run (Figure 12's knobs).
+
+    Frozen (and therefore hashable) so a configuration can key memoization
+    tables such as :class:`repro.runtime.cache.ProgramCache`; use
+    :meth:`disabled` to derive variants and :meth:`cache_key` for a stable
+    string form.
+    """
 
     canonicalize: bool = True
     hierarchy_elimination: bool = True
@@ -60,12 +66,16 @@ class CompileOptions:
 
     def disabled(self, *names: str) -> "CompileOptions":
         """A copy of these options with the named passes turned off."""
-        options = CompileOptions(**vars(self))
+        field_names = {f.name for f in fields(self)}
         for name in names:
-            if not hasattr(options, name):
+            if name not in field_names:
                 raise ValueError(f"unknown optimization '{name}'")
-            setattr(options, name, False)
-        return options
+        return replace(self, **{name: False for name in names})
+
+    def cache_key(self) -> str:
+        """Canonical, order-independent text form for content addressing."""
+        return ",".join(f"{f.name}={int(getattr(self, f.name))}"
+                        for f in sorted(fields(self), key=lambda f: f.name))
 
 
 def build_pass_pipeline(options: Optional[CompileOptions] = None) -> PassManager:

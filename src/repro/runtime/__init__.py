@@ -1,0 +1,62 @@
+"""``repro.runtime`` — a cached, batched, multi-worker serving engine.
+
+The seed repo's entry points recompile every program from source and serve
+one request at a time.  This package turns the compiler + executor into a
+serving layer:
+
+* :mod:`repro.runtime.cache` — content-addressed program cache (LRU memory
+  tier + optional on-disk pickles) keyed on source hash and
+  :meth:`repro.compiler.CompileOptions.cache_key`.
+* :mod:`repro.runtime.engine` — request/response engine that coalesces
+  requests into per-program batches, executes them, memoizes deterministic
+  results, and attaches the paper's modeled latency.
+* :mod:`repro.runtime.backends` — one dispatch interface over the
+  functional vRDA executor and the analytic CPU / GPU / Aurochs baselines.
+* :mod:`repro.runtime.scheduler` — shards batch costs across N simulated
+  workers using the admission policies shared with the Figure 14 simulator.
+* :mod:`repro.runtime.trace` — synthetic repeated-app request traces.
+
+``python -m repro.runtime`` replays a trace end to end and reports
+throughput, per-backend counts, cache hit rates, and worker shares.
+"""
+
+from repro.runtime.backends import (
+    AurochsBaselineBackend,
+    Backend,
+    BackendError,
+    BackendRegistry,
+    BackendResult,
+    CPUBaselineBackend,
+    FunctionalVRDABackend,
+    GPUBaselineBackend,
+)
+from repro.runtime.cache import CacheStats, LRUCache, ProgramCache, program_key
+from repro.runtime.engine import Batch, Engine, EngineError, Request, Response
+from repro.runtime.scheduler import ScheduleReport, ShardScheduler, WorkerReport
+from repro.runtime.trace import DEFAULT_TRACE_APPS, TraceConfig, synthetic_trace
+
+__all__ = [
+    "AurochsBaselineBackend",
+    "Backend",
+    "BackendError",
+    "BackendRegistry",
+    "BackendResult",
+    "Batch",
+    "CPUBaselineBackend",
+    "CacheStats",
+    "DEFAULT_TRACE_APPS",
+    "Engine",
+    "EngineError",
+    "FunctionalVRDABackend",
+    "GPUBaselineBackend",
+    "LRUCache",
+    "ProgramCache",
+    "Request",
+    "Response",
+    "ScheduleReport",
+    "ShardScheduler",
+    "TraceConfig",
+    "WorkerReport",
+    "program_key",
+    "synthetic_trace",
+]

@@ -1,0 +1,121 @@
+"""Command-line trace replay: ``python -m repro.runtime``.
+
+Replays a synthetic repeated-app request trace through the serving engine
+and the shard scheduler, then prints the serving report: wall-clock
+requests/sec, per-backend counts, cache hit rates, and per-worker shares.
+
+Example::
+
+    python -m repro.runtime --trace-size 100 --workers 4
+    python -m repro.runtime --apps strlen,search --policy hoisted-buffer
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.eval.tables import format_rows
+from repro.runtime.cache import ProgramCache
+from repro.runtime.engine import Engine
+from repro.runtime.scheduler import ShardScheduler
+from repro.runtime.trace import DEFAULT_TRACE_APPS, TraceConfig, synthetic_trace
+from repro.sim.policies import POLICIES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime",
+        description="Replay a synthetic request trace through the serving engine.")
+    parser.add_argument("--trace-size", type=int, default=100,
+                        help="number of requests in the trace (default 100)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="simulated vRDA worker shards (default 4)")
+    parser.add_argument("--apps", type=str, default=",".join(DEFAULT_TRACE_APPS),
+                        help="comma-separated app names to cycle through")
+    parser.add_argument("--policy", type=str, default="least-loaded",
+                        choices=sorted(POLICIES),
+                        help="shard admission policy (default least-loaded)")
+    parser.add_argument("--n-threads", type=int, default=4,
+                        help="threads per generated instance (default 4)")
+    parser.add_argument("--distinct-shapes", type=int, default=2,
+                        help="distinct (n_threads, seed) shapes per app")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="trace RNG seed (default 0)")
+    parser.add_argument("--max-batch", type=int, default=16,
+                        help="maximum requests coalesced per batch")
+    parser.add_argument("--cache-capacity", type=int, default=64,
+                        help="program-cache entries (0 disables)")
+    parser.add_argument("--disk-cache", type=str, default=None,
+                        help="directory for the on-disk program-cache tier")
+    parser.add_argument("--no-result-cache", action="store_true",
+                        help="disable the memoized-response tier")
+    parser.add_argument("--vrda-share", type=float, default=0.85,
+                        help="fraction of requests served functionally "
+                             "(rest split over cpu/gpu/aurochs)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    apps = [name.strip() for name in args.apps.split(",") if name.strip()]
+    rest = max(0.0, 1.0 - args.vrda_share) / 3.0
+    config = TraceConfig(
+        size=args.trace_size,
+        apps=apps,
+        backend_mix={"vrda": args.vrda_share, "cpu": rest, "gpu": rest,
+                     "aurochs": rest},
+        distinct_shapes=args.distinct_shapes,
+        n_threads=args.n_threads,
+        seed=args.seed,
+    )
+    try:
+        requests = synthetic_trace(config)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    engine = Engine(
+        program_cache=ProgramCache(capacity=args.cache_capacity,
+                                   disk_dir=args.disk_cache),
+        max_batch_size=args.max_batch,
+        result_cache_capacity=0 if args.no_result_cache else 512,
+    )
+    scheduler = ShardScheduler(workers=args.workers, policy=args.policy)
+
+    started = time.perf_counter()
+    responses = engine.process(requests)
+    elapsed = time.perf_counter() - started
+    report = scheduler.dispatch_responses(responses)
+
+    served = sum(1 for r in responses if r.error is None)
+    wrong = sum(1 for r in responses if r.correct is False)
+    program_stats = engine.program_cache_stats
+    result_stats = engine.result_cache_stats
+
+    print(f"trace           : {len(requests)} requests over {len(apps)} apps "
+          f"({', '.join(apps)})")
+    print(f"served          : {served} ok, {len(responses) - served} errors, "
+          f"{wrong} incorrect results")
+    print(f"wall time       : {elapsed:.3f} s  "
+          f"({len(requests) / max(elapsed, 1e-9):.1f} requests/s)")
+    print(f"batches         : {max((r.batch_id for r in responses), default=-1) + 1}")
+    print(f"program cache   : {program_stats.hits} hits / "
+          f"{program_stats.lookups} lookups "
+          f"(hit rate {100 * program_stats.hit_rate:.1f}%, "
+          f"{program_stats.evictions} evictions)")
+    print(f"result cache    : {result_stats.hits} hits / "
+          f"{result_stats.lookups} lookups "
+          f"(hit rate {100 * result_stats.hit_rate:.1f}%)")
+    print(f"backend counts  : {dict(sorted(engine.backend_counts.items()))}")
+    print(f"sharding        : {args.workers} workers, policy={report.policy}, "
+          f"simulated makespan {report.makespan_s * 1e3:.3f} ms, "
+          f"imbalance {report.imbalance():.3f}x")
+    print(format_rows(report.as_rows()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

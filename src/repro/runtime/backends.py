@@ -1,0 +1,249 @@
+"""Execution backends for the serving engine.
+
+A request can be served by four targets behind one interface:
+
+* ``vrda`` — the real pipeline: run the compiled dataflow program on the
+  functional executor, check it against the application's reference oracle,
+  and model its latency with :class:`repro.sim.perf_model.VRDAPerformanceModel`
+  (the paper's ``runtime = size / throughput + init``).
+* ``cpu`` / ``gpu`` — the analytic Table V baseline models: no functional
+  execution, only a modeled throughput/latency for the requested workload.
+* ``aurochs`` — the Section VI-B(c) model: the vRDA's analytic throughput
+  divided by the modeled Aurochs slowdown factors.
+
+Backends report a :class:`BackendResult`; the engine turns results into
+client responses and the scheduler uses ``modeled_runtime_s`` as the task
+cost when sharding batches across workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.base import AppInstance, AppSpec
+from repro.baselines.aurochs import AurochsModel
+from repro.baselines.cpu import CPUModel
+from repro.baselines.gpu import GPUModel
+from repro.core.machine import DEFAULT_MACHINE, MachineConfig
+from repro.dataflow.lowering import CompiledProgram
+from repro.dataflow.resources import ResourceBreakdown, estimate_resources
+from repro.errors import ReproError
+from repro.sim.perf_model import ThroughputReport, VRDAPerformanceModel, WorkloadProfile
+
+
+class BackendError(ReproError):
+    """A backend could not serve the request it was handed."""
+
+
+@dataclass
+class BackendResult:
+    """What one backend produced for one request."""
+
+    backend: str
+    #: Output-segment contents (functional backends only).
+    outputs: Optional[List[int]] = None
+    #: True/False when a reference oracle was checked, None otherwise.
+    correct: Optional[bool] = None
+    #: Modeled steady-state throughput in GB/s of application data.
+    modeled_gbs: float = 0.0
+    #: Modeled end-to-end latency: ``size / throughput + init``.
+    modeled_runtime_s: float = 0.0
+    #: Full bottleneck report (vRDA-modeled backends only).
+    report: Optional[ThroughputReport] = None
+
+
+@dataclass
+class BackendRequestContext:
+    """Everything a backend may need to serve one request."""
+
+    spec: Optional[AppSpec]
+    instance: Optional[AppInstance]
+    program: Optional[CompiledProgram]
+    args: Dict[str, int] = field(default_factory=dict)
+    n_threads: int = 8
+    #: True when the engine generated the instance itself; only then does
+    #: the instance carry the context the reference oracle needs.
+    generated: bool = False
+
+
+class Backend:
+    """One serving target; subclasses implement :meth:`execute`."""
+
+    name = "base"
+    #: Whether the engine must compile a program before dispatching here.
+    needs_program = False
+
+    def __init__(self, machine: MachineConfig = DEFAULT_MACHINE,
+                 init_latency_s: float = 1e-4):
+        self.machine = machine
+        self.init_latency_s = init_latency_s
+
+    def execute(self, ctx: BackendRequestContext) -> BackendResult:
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _require_spec(self, ctx: BackendRequestContext) -> AppSpec:
+        if ctx.spec is None:
+            raise BackendError(
+                f"backend '{self.name}' is analytic and needs a registered "
+                "application (raw-source requests must use 'vrda')")
+        return ctx.spec
+
+    def _workload_bytes(self, ctx: BackendRequestContext) -> float:
+        if ctx.instance is not None and ctx.instance.total_bytes:
+            return float(ctx.instance.total_bytes)
+        if ctx.spec is not None:
+            return float(ctx.spec.bytes_per_thread * ctx.n_threads)
+        return float(ctx.n_threads)
+
+    def _runtime_s(self, size_bytes: float, gbs: float) -> float:
+        gbs = max(gbs, 1e-9)
+        return size_bytes / (gbs * 1e9) + self.init_latency_s
+
+    def _analytic_vrda_gbs(self, spec: AppSpec, n_threads: int) -> float:
+        """Model the vRDA from Table III metadata alone (no execution)."""
+        profile = WorkloadProfile(
+            threads=n_threads,
+            app_bytes_per_thread=spec.bytes_per_thread,
+            dram_bulk_bytes_per_thread=spec.bytes_per_thread,
+            dram_random_accesses_per_thread=0.0,
+            iterations_per_thread=max(1.0, spec.avg_iterations_per_thread),
+        )
+        resources = ResourceBreakdown(
+            app=spec.name,
+            outer_parallelism=max(1, spec.outer_parallelism),
+            lanes=self.machine.lanes * max(1, spec.outer_parallelism),
+        )
+        model = VRDAPerformanceModel(self.machine)
+        return model.throughput(spec.name, profile, resources).throughput_gbs
+
+
+class FunctionalVRDABackend(Backend):
+    """Run the compiled program for real and attach the paper's perf model."""
+
+    name = "vrda"
+    needs_program = True
+
+    def execute(self, ctx: BackendRequestContext) -> BackendResult:
+        if ctx.program is None:
+            raise BackendError("vrda backend needs a compiled program")
+        if ctx.instance is None:
+            raise BackendError("vrda backend needs a problem instance")
+        instance = ctx.instance
+        executor = ctx.program.run(instance.memory, profile=True, **ctx.args)
+
+        outputs: Optional[List[int]] = None
+        correct: Optional[bool] = None
+        report: Optional[ThroughputReport] = None
+        spec = ctx.spec
+        if spec is not None:
+            try:
+                outputs = list(instance.memory.segment_data(spec.output_segment))
+            except ReproError:
+                outputs = None  # program declared no such output segment
+            if spec.reference is not None and ctx.generated:
+                expected = spec.reference(instance)
+                correct = outputs is not None and outputs[:len(expected)] == expected
+            iterations = sum(executor.profile.loop_iterations.values()) or 1
+            profile = WorkloadProfile.from_run(
+                instance.memory.stats,
+                threads=ctx.n_threads,
+                app_bytes_per_thread=spec.bytes_per_thread,
+                iterations=max(1.0, iterations / max(1, ctx.n_threads)),
+            )
+            resources = estimate_resources(
+                ctx.program, app_name=spec.name,
+                replicate_factor=spec.replicate_factor, machine=self.machine)
+            report = VRDAPerformanceModel(self.machine).throughput(
+                spec.name, profile, resources)
+        gbs = report.throughput_gbs if report else 1.0
+        size = self._workload_bytes(ctx)
+        return BackendResult(
+            backend=self.name,
+            outputs=outputs,
+            correct=correct,
+            modeled_gbs=gbs,
+            modeled_runtime_s=self._runtime_s(size, gbs),
+            report=report,
+        )
+
+
+class CPUBaselineBackend(Backend):
+    """Analytic Xeon baseline (Table V CPU column)."""
+
+    name = "cpu"
+
+    def __init__(self, machine: MachineConfig = DEFAULT_MACHINE,
+                 init_latency_s: float = 1e-4):
+        super().__init__(machine, init_latency_s)
+        self.model = CPUModel()
+
+    def execute(self, ctx: BackendRequestContext) -> BackendResult:
+        spec = self._require_spec(ctx)
+        gbs = self.model.throughput_gbs(spec)
+        size = self._workload_bytes(ctx)
+        return BackendResult(backend=self.name, modeled_gbs=gbs,
+                             modeled_runtime_s=self._runtime_s(size, gbs))
+
+
+class GPUBaselineBackend(Backend):
+    """Analytic V100 baseline (Table V GPU column)."""
+
+    name = "gpu"
+
+    def __init__(self, machine: MachineConfig = DEFAULT_MACHINE,
+                 init_latency_s: float = 1e-4):
+        super().__init__(machine, init_latency_s)
+        self.model = GPUModel()
+
+    def execute(self, ctx: BackendRequestContext) -> BackendResult:
+        spec = self._require_spec(ctx)
+        gbs = self.model.throughput_gbs(spec)
+        size = self._workload_bytes(ctx)
+        return BackendResult(backend=self.name, modeled_gbs=gbs,
+                             modeled_runtime_s=self._runtime_s(size, gbs))
+
+
+class AurochsBaselineBackend(Backend):
+    """Analytic Aurochs model: the vRDA slowed by the Section VI-B(c) gap."""
+
+    name = "aurochs"
+
+    def __init__(self, machine: MachineConfig = DEFAULT_MACHINE,
+                 init_latency_s: float = 1e-4):
+        super().__init__(machine, init_latency_s)
+        self.model = AurochsModel(machine)
+
+    def execute(self, ctx: BackendRequestContext) -> BackendResult:
+        spec = self._require_spec(ctx)
+        revet_gbs = self._analytic_vrda_gbs(spec, ctx.n_threads)
+        gbs = revet_gbs / max(1.0, self.model.speedup_of_revet())
+        size = self._workload_bytes(ctx)
+        return BackendResult(backend=self.name, modeled_gbs=gbs,
+                             modeled_runtime_s=self._runtime_s(size, gbs))
+
+
+class BackendRegistry:
+    """Name-to-backend dispatch table used by the engine."""
+
+    def __init__(self, machine: MachineConfig = DEFAULT_MACHINE,
+                 init_latency_s: float = 1e-4):
+        self._backends: Dict[str, Backend] = {}
+        for cls in (FunctionalVRDABackend, CPUBaselineBackend,
+                    GPUBaselineBackend, AurochsBaselineBackend):
+            self.register(cls(machine, init_latency_s))
+
+    def register(self, backend: Backend) -> Backend:
+        self._backends[backend.name] = backend
+        return backend
+
+    def get(self, name: str) -> Backend:
+        if name not in self._backends:
+            raise BackendError(
+                f"unknown backend '{name}'; choose from {sorted(self._backends)}")
+        return self._backends[name]
+
+    def names(self) -> List[str]:
+        return list(self._backends.keys())

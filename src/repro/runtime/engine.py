@@ -1,0 +1,325 @@
+"""The serving engine: requests in, batched cached execution, responses out.
+
+``Engine`` is the front door of :mod:`repro.runtime`.  Clients submit
+:class:`Request` objects naming either a registered Table III application or
+raw Revet source; the engine
+
+1. **coalesces** queued requests into :class:`Batch` es that share one
+   compilation (same content-addressed program key) and one backend,
+2. **compiles once per batch** through the :class:`ProgramCache` (so a warm
+   server never re-runs the Figure-8 pipeline for a known program),
+3. **executes** each request on its backend (functional executor or an
+   analytic baseline model, see :mod:`repro.runtime.backends`), and
+4. attaches the paper's modeled latency (``size / throughput + init``) to
+   every :class:`Response` so the scheduler can shard work by cost.
+
+Deterministic requests (a registered app with an engine-generated instance)
+are additionally memoized in a response tier: identical ``(program, backend,
+n_threads, seed, args)`` requests are served straight from the LRU without
+re-executing, which is what makes a warm serving tier fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.base import AppInstance, AppSpec, REGISTRY
+from repro.compiler import CompileOptions
+from repro.core.machine import DEFAULT_MACHINE, MachineConfig
+from repro.core.memory import MemorySystem
+from repro.errors import ReproError
+from repro.runtime.backends import BackendRegistry, BackendRequestContext
+from repro.runtime.cache import CacheStats, LRUCache, ProgramCache
+from repro.sim.perf_model import ThroughputReport
+
+
+class EngineError(ReproError):
+    """The engine could not form or execute a request."""
+
+
+@dataclass
+class Request:
+    """One unit of client work.
+
+    Exactly one of ``app`` (a name in :data:`repro.apps.REGISTRY`) or
+    ``source`` (raw Revet text) must be set.  App requests with no explicit
+    ``memory`` get a deterministic generated instance of ``n_threads``
+    threads from ``seed``; raw-source requests must bring their own
+    pre-staged :class:`MemorySystem` and scalar ``args``.
+    """
+
+    app: Optional[str] = None
+    source: Optional[str] = None
+    function: str = "main"
+    args: Dict[str, int] = field(default_factory=dict)
+    memory: Optional[MemorySystem] = None
+    n_threads: int = 8
+    seed: int = 0
+    backend: str = "vrda"
+    options: Optional[CompileOptions] = None
+
+    def validate(self) -> None:
+        if (self.app is None) == (self.source is None):
+            raise EngineError("a request names either 'app' or 'source'")
+        if self.app is not None and self.memory is None and self.args:
+            raise EngineError(
+                "app requests with generated instances take their arguments "
+                "from the generator; stage 'memory' explicitly to pass 'args'")
+
+    def resolve(self) -> Tuple[Optional[AppSpec], str]:
+        """Return ``(spec, source_text)`` for this request."""
+        self.validate()
+        if self.app is not None:
+            try:
+                spec = REGISTRY.get_servable(self.app)
+            except KeyError as error:
+                raise EngineError(str(error)) from error
+            return spec, spec.source
+        return None, self.source
+
+
+@dataclass
+class Response:
+    """One served request, in submission order."""
+
+    request_id: int
+    app: Optional[str]
+    backend: str
+    ok: bool
+    error: Optional[str] = None
+    #: Output-segment contents (functional backends on app requests).
+    outputs: Optional[List[int]] = None
+    #: Reference-oracle verdict when one was available.
+    correct: Optional[bool] = None
+    modeled_gbs: float = 0.0
+    modeled_runtime_s: float = 0.0
+    report: Optional[ThroughputReport] = None
+    program_cache_hit: Optional[bool] = None
+    result_cache_hit: bool = False
+    batch_id: int = -1
+
+
+@dataclass
+class Batch:
+    """Requests that share one compiled program and one backend."""
+
+    batch_id: int
+    program_key: Optional[str]
+    backend: str
+    entries: List[Tuple[int, Request]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class Engine:
+    """Cached, batched request execution over the Revet compiler."""
+
+    def __init__(self, program_cache: Optional[ProgramCache] = None,
+                 backends: Optional[BackendRegistry] = None,
+                 machine: MachineConfig = DEFAULT_MACHINE,
+                 max_batch_size: int = 16,
+                 result_cache_capacity: int = 512,
+                 init_latency_s: float = 1e-4):
+        self.program_cache = (program_cache if program_cache is not None
+                              else ProgramCache())
+        self.backends = (backends if backends is not None
+                         else BackendRegistry(machine, init_latency_s))
+        self.max_batch_size = max(1, max_batch_size)
+        self.result_cache = LRUCache(result_cache_capacity)
+        self._queue: List[Tuple[int, Request]] = []
+        self._failed: List[Response] = []
+        self._next_request_id = 0
+        self._next_batch_id = 0
+        self.backend_counts: Dict[str, int] = {}
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, request: Request) -> int:
+        """Queue one request; returns its id (also its response order)."""
+        request.validate()
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        self._queue.append((request_id, request))
+        return request_id
+
+    def process(self, requests: List[Request]) -> List[Response]:
+        """Submit and serve a whole trace; responses in submission order."""
+        for request in requests:
+            self.submit(request)
+        return self.flush()
+
+    # -- batching -----------------------------------------------------------
+
+    def coalesce(self) -> List[Batch]:
+        """Group the queue into program/backend batches of bounded size.
+
+        Grouping preserves arrival order within a batch; response order is
+        restored by request id after execution, so clients never observe
+        the coalescing.
+        """
+        batches: List[Batch] = []
+        open_batches: Dict[Tuple[Optional[str], str], Batch] = {}
+        for request_id, request in self._queue:
+            try:
+                _, source = request.resolve()
+                backend = self.backends.get(request.backend)
+            except ReproError as error:
+                self._failed.append(self._error_response(
+                    request_id, request,
+                    Batch(batch_id=-1, program_key=None,
+                          backend=request.backend),
+                    str(error)))
+                continue
+            key = (self.program_cache.key(source, request.function,
+                                          request.options)
+                   if backend.needs_program else None)
+            slot = (key, request.backend)
+            batch = open_batches.get(slot)
+            if batch is None or len(batch) >= self.max_batch_size:
+                batch = Batch(batch_id=self._next_batch_id, program_key=key,
+                              backend=request.backend)
+                self._next_batch_id += 1
+                batches.append(batch)
+                open_batches[slot] = batch
+            batch.entries.append((request_id, request))
+        self._queue = []
+        return batches
+
+    def flush(self) -> List[Response]:
+        """Serve everything queued; returns responses in submission order."""
+        responses: List[Response] = []
+        for batch in self.coalesce():
+            responses.extend(self._execute_batch(batch))
+        responses.extend(self._failed)
+        self._failed = []
+        responses.sort(key=lambda r: r.request_id)
+        return responses
+
+    # -- execution ----------------------------------------------------------
+
+    def _execute_batch(self, batch: Batch) -> List[Response]:
+        backend = self.backends.get(batch.backend)
+        program = None
+        program_hit: Optional[bool] = None
+        if backend.needs_program and batch.entries:
+            _, first = batch.entries[0]
+            _, source = first.resolve()
+            try:
+                program, program_hit = self.program_cache.get_or_compile(
+                    source, first.function, first.options)
+                self.program_cache.record_amortized_hits(len(batch.entries) - 1)
+            except ReproError as error:
+                return [self._error_response(request_id, request, batch,
+                                             f"compile failed: {error}")
+                        for request_id, request in batch.entries]
+        responses = []
+        for request_id, request in batch.entries:
+            responses.append(self._serve_one(request_id, request, batch,
+                                             program, program_hit))
+        return responses
+
+    def _serve_one(self, request_id: int, request: Request, batch: Batch,
+                   program, program_hit: Optional[bool]) -> Response:
+        fingerprint = self._result_fingerprint(request, batch)
+        if fingerprint is not None:
+            cached = self.result_cache.get(fingerprint)
+            if cached is not None:
+                self.backend_counts[request.backend] = (
+                    self.backend_counts.get(request.backend, 0) + 1)
+                # Fresh Response, outputs list, and report: replayed hits must
+                # not share mutable state with what earlier clients received.
+                return replace(cached, request_id=request_id,
+                               batch_id=batch.batch_id, result_cache_hit=True,
+                               program_cache_hit=program_hit,
+                               outputs=(list(cached.outputs)
+                                        if cached.outputs is not None else None),
+                               report=(replace(cached.report)
+                                       if cached.report is not None else None))
+        try:
+            spec, _ = request.resolve()
+            instance = self._instance_for(request, spec)
+            ctx = BackendRequestContext(
+                spec=spec,
+                instance=instance,
+                program=program,
+                args=dict(instance.args) if instance is not None else {},
+                n_threads=request.n_threads,
+                generated=instance is not None and request.memory is None,
+            )
+            result = self.backends.get(request.backend).execute(ctx)
+        except ReproError as error:
+            return self._error_response(request_id, request, batch, str(error))
+        self.backend_counts[request.backend] = (
+            self.backend_counts.get(request.backend, 0) + 1)
+        response = Response(
+            request_id=request_id,
+            app=request.app,
+            backend=request.backend,
+            ok=result.correct is not False,
+            outputs=result.outputs,
+            correct=result.correct,
+            modeled_gbs=result.modeled_gbs,
+            modeled_runtime_s=result.modeled_runtime_s,
+            report=result.report,
+            program_cache_hit=program_hit,
+            result_cache_hit=False,
+            batch_id=batch.batch_id,
+        )
+        if fingerprint is not None:
+            self.result_cache.put(fingerprint, replace(
+                response,
+                outputs=list(response.outputs) if response.outputs is not None
+                else None,
+                report=replace(response.report) if response.report is not None
+                else None))
+        return response
+
+    def _instance_for(self, request: Request,
+                      spec: Optional[AppSpec]) -> Optional[AppInstance]:
+        if request.memory is not None:
+            return AppInstance(memory=request.memory, args=dict(request.args))
+        backend = self.backends.get(request.backend)
+        if not backend.needs_program:
+            return None  # analytic models cost by spec metadata alone
+        if spec is not None:
+            try:
+                return spec.make_instance(request.n_threads, request.seed)
+            except KeyError as error:
+                raise EngineError(str(error)) from error
+        raise EngineError(
+            "raw-source requests must provide a pre-staged 'memory'")
+
+    def _result_fingerprint(self, request: Request, batch: Batch):
+        """Memoization key for deterministic requests; None if uncacheable."""
+        if self.result_cache.capacity <= 0:
+            return None
+        if request.memory is not None or request.app is None:
+            return None  # externally staged state is not replayable
+        return (batch.program_key, request.app, request.backend,
+                request.n_threads, request.seed,
+                tuple(sorted(request.args.items())))
+
+    def _error_response(self, request_id: int, request: Request, batch: Batch,
+                        message: str) -> Response:
+        return Response(request_id=request_id, app=request.app,
+                        backend=request.backend, ok=False, error=message,
+                        batch_id=batch.batch_id)
+
+    # -- stats --------------------------------------------------------------
+
+    @property
+    def program_cache_stats(self) -> CacheStats:
+        return self.program_cache.stats
+
+    @property
+    def result_cache_stats(self) -> CacheStats:
+        return self.result_cache.stats
+
+    def stats_row(self) -> Dict[str, object]:
+        return {
+            "program_cache": self.program_cache_stats.as_dict(),
+            "result_cache": self.result_cache_stats.as_dict(),
+            "backend_counts": dict(self.backend_counts),
+        }

@@ -2,6 +2,16 @@
 
 from repro.sim.perf_model import ThroughputReport, VRDAPerformanceModel, WorkloadProfile
 from repro.sim.load_balance import LoadBalanceSimulator, RegionLoad
+from repro.sim.policies import (
+    POLICIES,
+    AdmissionPolicy,
+    AdmissionResult,
+    HoistedBufferPolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    make_policy,
+    run_admission,
+)
 
 __all__ = [
     "ThroughputReport",
@@ -9,4 +19,12 @@ __all__ = [
     "WorkloadProfile",
     "LoadBalanceSimulator",
     "RegionLoad",
+    "POLICIES",
+    "AdmissionPolicy",
+    "AdmissionResult",
+    "HoistedBufferPolicy",
+    "LeastLoadedPolicy",
+    "RoundRobinPolicy",
+    "make_policy",
+    "run_admission",
 ]

@@ -7,13 +7,24 @@ thread service times: ``regions`` servers with different service rates share
 one buffer pool; work is admitted round-robin into free buffers and each
 region's share of the total input is reported — the quantity plotted in
 Figure 14.
+
+The admission loop itself lives in :mod:`repro.sim.policies` (shared with
+the serving-engine scheduler in :mod:`repro.runtime`); this module wires it
+to the Figure 14 experiment: per-region service-time skew, share
+percentages, and makespans.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Union
+
+from repro.sim.policies import (
+    AdmissionPolicy,
+    HoistedBufferPolicy,
+    RoundRobinPolicy,
+    run_admission,
+)
 
 
 @dataclass
@@ -38,46 +49,29 @@ class LoadBalanceSimulator:
             for r in range(regions)
         ]
 
-    def run(self, total_threads: int, hoisted: bool = True) -> List[RegionLoad]:
+    def run(self, total_threads: int, hoisted: bool = True,
+            policy: Optional[Union[str, AdmissionPolicy]] = None
+            ) -> List[RegionLoad]:
         """Distribute ``total_threads`` and return per-region load shares.
 
         ``hoisted=False`` models Plasticine-style fixed work partitioning,
         where every region is statically assigned an equal share regardless
-        of its throughput.
+        of its throughput.  Pass ``policy`` to override the admission
+        strategy (any :mod:`repro.sim.policies` name or instance).
         """
-        counts = [0] * self.regions
-        if not hoisted:
-            for i in range(total_threads):
-                counts[i % self.regions] += 1
-        else:
-            # Buffered admission: while free buffers exist, threads go to the
-            # next region round-robin; afterwards a thread is admitted to
-            # whichever region frees a buffer first (completion order).
-            free = [self.buffers // self.regions] * self.regions
-            events: List[tuple] = []  # (completion_time, region)
-            clock = 0.0
-            rr = 0
-            remaining = total_threads
-            while remaining > 0:
-                if any(free):
-                    while free[rr] == 0:
-                        rr = (rr + 1) % self.regions
-                    region = rr
-                    rr = (rr + 1) % self.regions
-                else:
-                    clock, region = heapq.heappop(events)
-                    free[region] += 1
-                    continue
-                free[region] -= 1
-                counts[region] += 1
-                remaining -= 1
-                heapq.heappush(events, (clock + self.service_times[region], region))
-                if events and not any(free):
-                    clock, finished = heapq.heappop(events)
-                    free[finished] += 1
-        total = max(1, sum(counts))
-        return [RegionLoad(region=r, threads=c, share_percent=100.0 * c / total)
-                for r, c in enumerate(counts)]
+        if policy is None:
+            policy = HoistedBufferPolicy() if hoisted else RoundRobinPolicy()
+        result = run_admission(
+            task_costs=total_threads,  # unit-cost threads, O(regions) memory
+            worker_scales=self.service_times,
+            buffers=[self.buffers // self.regions] * self.regions,
+            policy=policy,
+            collect_assignments=False,
+        )
+        shares = result.shares_percent()
+        return [RegionLoad(region=r, threads=result.counts[r],
+                           share_percent=shares[r])
+                for r in range(self.regions)]
 
     def completion_time(self, loads: List[RegionLoad]) -> float:
         """Makespan for a given assignment (used for the 21% slowdown claim)."""

@@ -1,0 +1,90 @@
+"""Backend registry: dispatch to all four serving targets."""
+
+import pytest
+
+from repro.apps import REGISTRY
+from repro.baselines.cpu import CPUModel
+from repro.baselines.gpu import GPUModel
+from repro.runtime.backends import (
+    BackendError,
+    BackendRegistry,
+    BackendRequestContext,
+)
+from repro.runtime.engine import Engine, Request
+
+ALL_BACKENDS = ["vrda", "cpu", "gpu", "aurochs"]
+
+
+class TestRegistry:
+    def test_all_four_backends_registered(self):
+        registry = BackendRegistry()
+        assert set(registry.names()) == set(ALL_BACKENDS)
+        for name in ALL_BACKENDS:
+            assert registry.get(name).name == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BackendError):
+            BackendRegistry().get("tpu")
+
+    def test_only_vrda_needs_a_program(self):
+        registry = BackendRegistry()
+        assert registry.get("vrda").needs_program
+        for name in ("cpu", "gpu", "aurochs"):
+            assert not registry.get(name).needs_program
+
+
+class TestDispatchThroughEngine:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_each_backend_serves_an_app_request(self, backend):
+        engine = Engine()
+        [response] = engine.process(
+            [Request(app="hash-table", n_threads=2, backend=backend)])
+        assert response.ok, response.error
+        assert response.backend == backend
+        assert response.modeled_gbs > 0
+        assert response.modeled_runtime_s > 0
+        if backend == "vrda":
+            assert response.correct is True
+            assert response.outputs
+        else:
+            assert response.correct is None
+            assert response.outputs is None
+
+    def test_analytic_backends_match_baseline_models(self):
+        spec = REGISTRY.get("murmur3")
+        engine = Engine()
+        [cpu, gpu] = engine.process([
+            Request(app="murmur3", n_threads=2, backend="cpu"),
+            Request(app="murmur3", n_threads=2, backend="gpu"),
+        ])
+        assert cpu.modeled_gbs == pytest.approx(
+            CPUModel().throughput_gbs(spec))
+        assert gpu.modeled_gbs == pytest.approx(
+            GPUModel().throughput_gbs(spec))
+
+    def test_aurochs_is_modeled_slower_than_vrda(self):
+        registry = BackendRegistry()
+        spec = REGISTRY.get("kD-tree")
+        ctx = BackendRequestContext(spec=spec, instance=None, program=None,
+                                    n_threads=4)
+        aurochs = registry.get("aurochs").execute(ctx)
+        analytic_vrda = registry.get("aurochs")._analytic_vrda_gbs(spec, 4)
+        assert aurochs.modeled_gbs < analytic_vrda
+        # The modeled gap matches the Section VI-B(c) slowdown factors.
+        from repro.baselines.aurochs import AurochsModel
+
+        assert analytic_vrda / aurochs.modeled_gbs == pytest.approx(
+            max(1.0, AurochsModel().speedup_of_revet()))
+
+    def test_analytic_backend_rejects_raw_source(self):
+        registry = BackendRegistry()
+        ctx = BackendRequestContext(spec=None, instance=None, program=None)
+        for name in ("cpu", "gpu", "aurochs"):
+            with pytest.raises(BackendError):
+                registry.get(name).execute(ctx)
+
+    def test_vrda_requires_program_and_instance(self):
+        registry = BackendRegistry()
+        with pytest.raises(BackendError):
+            registry.get("vrda").execute(
+                BackendRequestContext(spec=None, instance=None, program=None))

@@ -1,0 +1,207 @@
+"""Engine behaviour: batching, response ordering, memoization, errors."""
+
+import pytest
+
+from repro.apps import REGISTRY
+from repro.core.memory import MemorySystem
+from repro.runtime.engine import Engine, EngineError, Request
+
+SQUARE = """
+DRAM<int> data;
+DRAM<int> out;
+
+void main(int n) {
+  foreach (n) { int i =>
+    int v = data[i];
+    out[i] = v * v;
+  };
+}
+"""
+
+
+def app_request(app, **kwargs):
+    kwargs.setdefault("n_threads", 2)
+    return Request(app=app, **kwargs)
+
+
+class TestValidation:
+    def test_request_needs_exactly_one_target(self):
+        with pytest.raises(EngineError):
+            Request().validate()
+        with pytest.raises(EngineError):
+            Request(app="hash-table", source=SQUARE).validate()
+
+    def test_unknown_app_becomes_error_response(self):
+        engine = Engine()
+        responses = engine.process([Request(app="no-such-app")])
+        assert len(responses) == 1
+        assert not responses[0].ok
+        assert "no-such-app" in responses[0].error
+
+    def test_raw_source_without_memory_is_an_error(self):
+        engine = Engine()
+        [response] = engine.process([Request(source=SQUARE)])
+        assert not response.ok
+        assert "memory" in response.error
+
+
+class TestBatching:
+    def test_same_app_coalesces_into_one_batch(self):
+        engine = Engine()
+        for _ in range(4):
+            engine.submit(app_request("hash-table"))
+        batches = engine.coalesce()
+        assert len(batches) == 1
+        assert len(batches[0]) == 4
+
+    def test_batches_split_by_program_and_backend(self):
+        engine = Engine()
+        engine.submit(app_request("hash-table"))
+        engine.submit(app_request("search"))
+        engine.submit(app_request("hash-table", backend="cpu"))
+        batches = engine.coalesce()
+        assert len(batches) == 3
+
+    def test_max_batch_size_splits_batches(self):
+        engine = Engine(max_batch_size=2)
+        for _ in range(5):
+            engine.submit(app_request("hash-table"))
+        sizes = [len(b) for b in engine.coalesce()]
+        assert sizes == [2, 2, 1]
+
+    def test_responses_keep_submission_order(self):
+        # Interleave apps and backends so coalescing reorders execution,
+        # then check the engine restores client order.
+        engine = Engine()
+        pattern = ["hash-table", "search", "hash-table", "search",
+                   "hash-table"]
+        backends = ["vrda", "vrda", "cpu", "vrda", "vrda"]
+        requests = [app_request(app, backend=backend, seed=i)
+                    for i, (app, backend) in enumerate(zip(pattern, backends))]
+        responses = engine.process(requests)
+        assert [r.request_id for r in responses] == [0, 1, 2, 3, 4]
+        assert [r.app for r in responses] == pattern
+        assert [r.backend for r in responses] == backends
+        # The interleaved hash-table vrda requests shared one batch.
+        assert responses[0].batch_id == responses[4].batch_id
+        assert responses[0].batch_id != responses[1].batch_id
+
+
+class TestExecution:
+    def test_functional_response_checks_reference(self):
+        engine = Engine()
+        [response] = engine.process([app_request("hash-table")])
+        assert response.ok
+        assert response.correct is True
+        assert response.outputs
+        assert response.modeled_runtime_s > 0
+        assert response.report is not None
+
+    def test_program_cache_amortizes_across_requests(self):
+        engine = Engine()
+        responses = engine.process([app_request("hash-table", seed=s)
+                                    for s in range(3)])
+        assert engine.program_cache_stats.misses == 1
+        assert engine.program_cache_stats.hits == 2
+        assert [r.program_cache_hit for r in responses] == [False, False, False]
+        # A second flush of the same app is a true cache hit.
+        [response] = engine.process([app_request("hash-table", seed=9)])
+        assert response.program_cache_hit is True
+
+    def test_result_cache_memoizes_identical_requests(self):
+        engine = Engine()
+        first = engine.process([app_request("hash-table", seed=1)])[0]
+        second = engine.process([app_request("hash-table", seed=1)])[0]
+        third = engine.process([app_request("hash-table", seed=2)])[0]
+        assert not first.result_cache_hit
+        assert second.result_cache_hit
+        assert second.outputs == first.outputs
+        assert second.request_id != first.request_id
+        assert not third.result_cache_hit
+
+    def test_result_cache_hits_are_isolated_from_client_mutation(self):
+        engine = Engine()
+        first = engine.process([app_request("hash-table", seed=1)])[0]
+        first.outputs.clear()  # a rude client mutates its response
+        second = engine.process([app_request("hash-table", seed=1)])[0]
+        assert second.result_cache_hit
+        assert second.outputs  # served from an independent copy
+        second.outputs[0] ^= 1
+        third = engine.process([app_request("hash-table", seed=1)])[0]
+        assert third.outputs != second.outputs
+
+    def test_generated_app_requests_reject_custom_args(self):
+        with pytest.raises(EngineError):
+            Request(app="hash-table", args={"count": 4}).validate()
+
+    def test_result_cache_can_be_disabled(self):
+        engine = Engine(result_cache_capacity=0)
+        engine.process([app_request("hash-table", seed=1)])
+        [again] = engine.process([app_request("hash-table", seed=1)])
+        assert not again.result_cache_hit
+
+    def test_raw_source_request_with_memory(self):
+        memory = MemorySystem()
+        memory.dram_alloc("data", data=[1, 2, 3])
+        memory.dram_alloc("out", size=3)
+        engine = Engine()
+        [response] = engine.process(
+            [Request(source=SQUARE, memory=memory, args={"n": 3})])
+        assert response.ok
+        assert memory.segment_data("out") == [1, 4, 9]
+        # External state is never memoized.
+        assert engine.result_cache_stats.lookups == 0
+
+    def test_user_memory_requests_bypass_result_cache(self):
+        spec = REGISTRY.get("hash-table")
+        engine = Engine()
+        for _ in range(2):
+            instance = spec.make_instance(2, seed=3)
+            [response] = engine.process(
+                [Request(app="hash-table", memory=instance.memory,
+                         args=instance.args, n_threads=2)])
+            assert response.ok
+            assert not response.result_cache_hit
+
+    def test_backend_counts_accumulate(self):
+        engine = Engine()
+        engine.process([app_request("hash-table"),
+                        app_request("hash-table", backend="cpu"),
+                        app_request("hash-table", backend="gpu")])
+        assert engine.backend_counts == {"vrda": 1, "cpu": 1, "gpu": 1}
+
+
+class TestTraceGeneration:
+    def test_overrides_do_not_mutate_the_config(self):
+        from repro.runtime import TraceConfig, synthetic_trace
+
+        config = TraceConfig(size=10)
+        trace = synthetic_trace(config, size=5)
+        assert len(trace) == 5
+        assert config.size == 10
+        assert len(synthetic_trace(config)) == 10
+
+    def test_unknown_override_rejected(self):
+        from repro.runtime import synthetic_trace
+
+        with pytest.raises(ValueError):
+            synthetic_trace(bogus=1)
+
+    def test_unknown_app_rejected(self):
+        from repro.runtime import synthetic_trace
+
+        with pytest.raises(ValueError):
+            synthetic_trace(apps=["not-an-app"])
+
+
+class TestServableRegistry:
+    def test_all_table3_apps_are_servable(self):
+        from repro.apps import TABLE3_APPS
+
+        servable = REGISTRY.servable_names()
+        for name in TABLE3_APPS + ["strlen"]:
+            assert name in servable
+
+    def test_get_servable_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            REGISTRY.get_servable("nope")
