@@ -1,0 +1,81 @@
+"""E9 — worker-pool dispatch: cache-affinity vs round-robin hit rate.
+
+A 500-request mixed-app trace (seven Table III applications, two shapes
+each) is served by a 4-worker pool whose per-worker program caches hold
+only two entries — small enough that scattering programs across the pool
+thrashes them.  Round-robin dispatch ignores residency and recompiles a
+program on every worker that receives one of its batches; cache-affinity
+routes each program's batches to the worker already holding it.  The
+affinity policy must yield a strictly higher pool-wide program-cache hit
+rate (and strictly fewer compiles); both numbers land in
+``BENCH_runtime.json`` for the per-PR artifact.
+"""
+
+import time
+
+from conftest import record_bench, run_once
+
+from repro.eval import format_rows
+from repro.runtime import TraceConfig, WorkerPool, synthetic_trace
+
+TRACE = TraceConfig(
+    size=500,
+    apps=["hash-table", "search", "huff-enc", "murmur3", "strlen", "ip2int",
+          "isipv4"],
+    backend_mix={"vrda": 1.0},
+    distinct_shapes=2,
+    n_threads=2,
+    seed=42,
+)
+WORKERS = 4
+CACHE_CAPACITY = 2
+
+
+def _replay(policy: str):
+    """Serve the trace under one dispatch policy; returns (report, rps)."""
+    with WorkerPool(workers=WORKERS, mode="inline", policy=policy,
+                    cache_capacity=CACHE_CAPACITY) as pool:
+        requests = synthetic_trace(TRACE)
+        started = time.perf_counter()
+        report = pool.process(requests)
+        elapsed = time.perf_counter() - started
+    assert len(report.responses) == TRACE.size
+    assert all(r.ok for r in report.responses)
+    return report, TRACE.size / max(elapsed, 1e-9)
+
+
+def test_pool_affinity_vs_round_robin(benchmark):
+    rr_report, rr_rps = _replay("round-robin")
+    affinity_report, affinity_rps = run_once(benchmark, _replay,
+                                             "cache-affinity")
+
+    rr_stats = rr_report.aggregate_program_stats()
+    affinity_stats = affinity_report.aggregate_program_stats()
+    assert affinity_stats.hit_rate > rr_stats.hit_rate
+    assert affinity_stats.misses < rr_stats.misses
+
+    rows = [
+        {"policy": "round-robin", "hit_rate_%": round(100 * rr_stats.hit_rate, 1),
+         "compiles": rr_stats.misses, "requests_per_s": round(rr_rps, 1)},
+        {"policy": "cache-affinity",
+         "hit_rate_%": round(100 * affinity_stats.hit_rate, 1),
+         "compiles": affinity_stats.misses,
+         "requests_per_s": round(affinity_rps, 1)},
+    ]
+    print("\n" + format_rows(rows))
+    record_bench("worker_pool", {
+        "trace_requests": TRACE.size,
+        "apps": list(TRACE.apps),
+        "workers": WORKERS,
+        "cache_capacity_per_worker": CACHE_CAPACITY,
+        "round_robin": {
+            "hit_rate": round(rr_stats.hit_rate, 4),
+            "compiles": rr_stats.misses,
+            "requests_per_s": round(rr_rps, 1),
+        },
+        "cache_affinity": {
+            "hit_rate": round(affinity_stats.hit_rate, 4),
+            "compiles": affinity_stats.misses,
+            "requests_per_s": round(affinity_rps, 1),
+        },
+    })

@@ -12,7 +12,7 @@ The warm tier must sustain at least 5x the cold requests/sec.
 
 import time
 
-from conftest import run_once
+from conftest import record_bench, run_once
 
 from repro.eval import format_rows
 from repro.runtime import Engine, ProgramCache, TraceConfig, synthetic_trace
@@ -63,4 +63,11 @@ def test_runtime_throughput_cold_vs_warm(benchmark):
         {"tier": "speedup", "requests_per_s": f"{warm_rps / cold_rps:.1f}x"},
     ]
     print("\n" + format_rows(rows))
+    record_bench("throughput", {
+        "trace_requests": TRACE.size,
+        "cold_requests_per_s": round(cold_rps, 1),
+        "warm_requests_per_s": round(warm_rps, 1),
+        "speedup": round(warm_rps / cold_rps, 1),
+        "program_cache_hit_rate": round(stats.hit_rate, 4),
+    })
     assert warm_rps >= 5 * cold_rps

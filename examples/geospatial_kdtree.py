@@ -8,7 +8,6 @@ Aurochs (no thread-local SRAM, no nested foreach).
 """
 
 from repro.apps import REGISTRY
-from repro.apps.base import run_app
 from repro.baselines.aurochs import AurochsModel
 from repro.baselines.gpu import GPUModel
 from repro.dataflow.resources import estimate_resources
@@ -20,7 +19,7 @@ def main() -> None:
     threads = 12
     instance = spec.generate(threads, seed=7)
     program = spec.compile()
-    executor = program.run(instance.memory, profile=True, **instance.args)
+    program.run(instance.memory, profile=True, **instance.args)
 
     expected = spec.reference(instance)
     actual = instance.memory.segment_data("out")[: len(expected)]

@@ -16,8 +16,8 @@ The public API is organized in layers:
   layered over the compiler and executor.
 """
 
-__version__ = "0.1.0"
-
 from repro import errors
+
+__version__ = "0.1.0"
 
 __all__ = ["errors", "__version__"]

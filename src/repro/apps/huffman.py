@@ -9,7 +9,7 @@ region of the packed bitstream, so threads are independent.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.apps.base import AppInstance, AppSpec, REGISTRY, seeded_rng
 from repro.core.memory import MemorySystem

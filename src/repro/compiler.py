@@ -15,7 +15,7 @@ the resource/performance models in :mod:`repro.dataflow` and :mod:`repro.sim`.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.dataflow.lowering import CompiledProgram, lower_to_dataflow
 from repro.frontend import compile_source_to_ir

@@ -29,8 +29,6 @@ from repro.core.sltf import (
     Data,
     Stream,
     Token,
-    is_barrier,
-    is_data,
     lower_barriers,
 )
 
@@ -411,10 +409,8 @@ def foreach(
     expanded: Stream = []
     for tok in stream:
         if isinstance(tok, Data):
-            emitted = False
             for child in trip_counts(tok.value):
                 expanded.append(Data(child))
-                emitted = True
             expanded.append(Barrier(1))
         else:
             expanded.append(Barrier(tok.level + 1))

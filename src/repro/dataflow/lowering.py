@@ -22,10 +22,10 @@ broadcasts), so the resulting graph is closed under each region.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Sequence, Set, Tuple
 
 from repro.core.executor import Executor
-from repro.core.graph import DFGraph, DFNode, DFValue
+from repro.core.graph import DFGraph, DFValue
 from repro.core.machine import LinkKind
 from repro.core.memory import MemorySystem
 from repro.errors import LoweringError

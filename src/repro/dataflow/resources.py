@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.core.graph import DFGraph, DFNode
 from repro.core.machine import DEFAULT_MACHINE, ContextLimits, MachineConfig, ResourceUsage

@@ -13,12 +13,11 @@ import statistics
 from typing import Dict, List, Optional
 
 from repro.apps import REGISTRY, TABLE3_APPS
-from repro.apps.base import AppSpec, run_app
+from repro.apps.base import AppSpec
 from repro.baselines.cpu import CPUModel
 from repro.baselines.gpu import GPUModel
-from repro.compiler import CompileOptions
 from repro.core.machine import DEFAULT_MACHINE, V100_AREA_MM2, MachineConfig
-from repro.dataflow.resources import ResourceBreakdown, estimate_resources
+from repro.dataflow.resources import estimate_resources
 from repro.sim.perf_model import VRDAPerformanceModel, WorkloadProfile
 
 #: Outer-parallelism caps taken from Table IV (the paper scales each app to
@@ -58,7 +57,7 @@ def table3_applications() -> List[Dict]:
         spec = REGISTRY.get(name)
         rows.append({
             "app": name,
-            "lines": len([l for l in spec.source.splitlines() if l.strip()]),
+            "lines": len([line for line in spec.source.splitlines() if line.strip()]),
             "description": spec.description,
             "key_features": ", ".join(spec.key_features),
             "per_thread_bytes": spec.bytes_per_thread,

@@ -13,11 +13,11 @@ The lowering produces a module mixing the ``scf``, ``arith``, ``memref`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
 
-from repro.errors import LoweringError, SemanticError
-from repro.ir import Builder, I1, I32, IntType, Module, Operation, Value
+from repro.errors import LoweringError
+from repro.ir import Builder, I1, IntType, Module, Operation, Value
 from repro.ir.dialects import arith, func, memref, revet, scf
 from repro.lang import ast_nodes as ast
 from repro.lang.parser import parse

@@ -19,7 +19,6 @@ the dialect modules under :mod:`repro.ir.dialects`.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.errors import IRError

@@ -6,7 +6,7 @@ from typing import Optional
 
 from repro.errors import IRError
 from repro.ir.builder import Builder
-from repro.ir.core import I1, I32, IntType, Operation, Type, Value
+from repro.ir.core import I1, I32, IntType, Type, Value
 
 #: Comparison predicates accepted by ``arith.cmpi``.
 CMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge")

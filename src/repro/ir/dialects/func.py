@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 from repro.ir.builder import Builder
 from repro.ir.core import Block, FunctionType, Module, Operation, Type, Value

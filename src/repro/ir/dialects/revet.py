@@ -29,7 +29,6 @@ from typing import Optional, Sequence
 from repro.ir.builder import Builder
 from repro.ir.core import (
     I32,
-    Block,
     DRAMType,
     IntType,
     Module,

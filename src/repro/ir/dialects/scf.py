@@ -12,7 +12,7 @@ The shapes follow MLIR's SCF dialect:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.errors import IRError
 from repro.ir.builder import Builder

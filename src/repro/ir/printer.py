@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.ir.core import Block, Module, Operation, Region, Value
+from repro.ir.core import Module, Operation, Region
 
 
 def _fmt_attr(value) -> str:

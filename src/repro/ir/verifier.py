@@ -13,10 +13,10 @@ The verifier checks:
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Set
 
 from repro.errors import IRError
-from repro.ir.core import Block, Module, Operation, Region, Value
+from repro.ir.core import Block, Module, Operation
 from repro.ir.dialects.registry import op_info
 from repro.ir.dialects.scf import verify_while
 

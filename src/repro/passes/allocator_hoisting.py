@@ -14,7 +14,7 @@ model consume these attributes.
 
 from __future__ import annotations
 
-from repro.ir import Module, Operation, ops_named
+from repro.ir import Module, ops_named
 from repro.ir.pass_manager import Pass
 
 

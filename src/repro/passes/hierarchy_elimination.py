@@ -16,9 +16,8 @@ children of one parent can overlap with the next parent's children.
 
 from __future__ import annotations
 
-from repro.ir import Builder, I1, Module, Operation, ops_named
+from repro.ir import Builder, Module, Operation, ops_named
 from repro.ir.dialects import arith as arith_d
-from repro.ir.dialects import memref as memref_d
 from repro.ir.dialects import revet as revet_d
 from repro.ir.dialects import scf as scf_d
 from repro.ir.pass_manager import Pass

@@ -11,8 +11,6 @@
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.errors import PassError
 from repro.ir import Builder, Module, Operation, ops_named
 from repro.ir.dialects import memref as memref_d

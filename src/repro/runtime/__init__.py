@@ -14,10 +14,18 @@ serving layer:
   functional vRDA executor and the analytic CPU / GPU / Aurochs baselines.
 * :mod:`repro.runtime.scheduler` — shards batch costs across N simulated
   workers using the admission policies shared with the Figure 14 simulator.
+* :mod:`repro.runtime.pool` — real multi-worker execution: N inline or
+  ``multiprocessing`` workers, each owning its own program cache, fed by
+  cache-affinity batch dispatch with residency feedback.
+* :mod:`repro.runtime.server` / :mod:`repro.runtime.client` — persistent
+  NDJSON-over-TCP service front-end and its client (plus the CI smoke
+  driver, ``python -m repro.runtime.client --smoke``).
 * :mod:`repro.runtime.trace` — synthetic repeated-app request traces.
 
 ``python -m repro.runtime`` replays a trace end to end and reports
-throughput, per-backend counts, cache hit rates, and worker shares.
+throughput, per-backend counts, cache hit rates, and worker shares;
+``python -m repro.runtime.server`` serves the same engine as a long-lived
+socket process.
 """
 
 from repro.runtime.backends import (
@@ -30,10 +38,43 @@ from repro.runtime.backends import (
     FunctionalVRDABackend,
     GPUBaselineBackend,
 )
+import importlib
+from typing import TYPE_CHECKING
+
 from repro.runtime.cache import CacheStats, LRUCache, ProgramCache, program_key
 from repro.runtime.engine import Batch, Engine, EngineError, Request, Response
+from repro.runtime.pool import (
+    PoolError,
+    PoolReport,
+    WorkerConfig,
+    WorkerPool,
+    WorkerSnapshot,
+)
 from repro.runtime.scheduler import ScheduleReport, ShardScheduler, WorkerReport
 from repro.runtime.trace import DEFAULT_TRACE_APPS, TraceConfig, synthetic_trace
+
+if TYPE_CHECKING:
+    from repro.runtime.client import ClientError, RuntimeClient, spawn_server
+    from repro.runtime.server import PROTOCOL_VERSION, RuntimeServer
+
+# client/server double as `python -m` entry points; importing them eagerly
+# here would make runpy warn about (and re-execute) the module it is about
+# to run as __main__, so they resolve lazily instead.
+_LAZY_EXPORTS = {
+    "ClientError": "repro.runtime.client",
+    "RuntimeClient": "repro.runtime.client",
+    "spawn_server": "repro.runtime.client",
+    "PROTOCOL_VERSION": "repro.runtime.server",
+    "RuntimeServer": "repro.runtime.server",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        value = getattr(importlib.import_module(_LAZY_EXPORTS[name]), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "AurochsBaselineBackend",
@@ -44,19 +85,29 @@ __all__ = [
     "Batch",
     "CPUBaselineBackend",
     "CacheStats",
+    "ClientError",
     "DEFAULT_TRACE_APPS",
     "Engine",
     "EngineError",
     "FunctionalVRDABackend",
     "GPUBaselineBackend",
     "LRUCache",
+    "PROTOCOL_VERSION",
+    "PoolError",
+    "PoolReport",
     "ProgramCache",
     "Request",
     "Response",
+    "RuntimeClient",
+    "RuntimeServer",
     "ScheduleReport",
     "ShardScheduler",
     "TraceConfig",
+    "WorkerConfig",
+    "WorkerPool",
     "WorkerReport",
+    "WorkerSnapshot",
     "program_key",
+    "spawn_server",
     "synthetic_trace",
 ]

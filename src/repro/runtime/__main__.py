@@ -3,11 +3,16 @@
 Replays a synthetic repeated-app request trace through the serving engine
 and the shard scheduler, then prints the serving report: wall-clock
 requests/sec, per-backend counts, cache hit rates, and per-worker shares.
+With ``--pool-workers N`` the trace executes through the real
+:class:`~repro.runtime.pool.WorkerPool` (per-worker program caches,
+cache-affinity dispatch, optional process parallelism) instead of the
+single in-process engine.
 
 Example::
 
     python -m repro.runtime --trace-size 100 --workers 4
     python -m repro.runtime --apps strlen,search --policy hoisted-buffer
+    python -m repro.runtime --pool-workers 4 --policy cache-affinity
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from typing import List, Optional
 from repro.eval.tables import format_rows
 from repro.runtime.cache import ProgramCache
 from repro.runtime.engine import Engine
+from repro.runtime.pool import POOL_MODES, WorkerPool
 from repro.runtime.scheduler import ShardScheduler
 from repro.runtime.trace import DEFAULT_TRACE_APPS, TraceConfig, synthetic_trace
 from repro.sim.policies import POLICIES
@@ -55,7 +61,57 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--vrda-share", type=float, default=0.85,
                         help="fraction of requests served functionally "
                              "(rest split over cpu/gpu/aurochs)")
+    parser.add_argument("--pool-workers", type=int, default=0,
+                        help="execute through a WorkerPool of this many "
+                             "cache-owning workers (0 = single engine)")
+    parser.add_argument("--pool-mode", type=str, default="inline",
+                        choices=POOL_MODES,
+                        help="pool execution mode (default inline)")
     return parser
+
+
+def _run_pooled(args: argparse.Namespace, requests: List) -> int:
+    """Serve the trace through a real worker pool and print its report."""
+    pool = WorkerPool(
+        workers=args.pool_workers,
+        mode=args.pool_mode,
+        policy=args.policy,
+        cache_capacity=args.cache_capacity,
+        result_cache_capacity=0 if args.no_result_cache else 512,
+        max_batch_size=args.max_batch,
+        disk_cache_dir=args.disk_cache,
+    )
+    with pool:
+        started = time.perf_counter()
+        report = pool.process(requests)
+        elapsed = time.perf_counter() - started
+    responses = report.responses
+    served = sum(1 for r in responses if r.error is None)
+    wrong = sum(1 for r in responses if r.correct is False)
+    program = report.aggregate_program_stats()
+    result = report.aggregate_result_stats()
+    print(f"trace           : {len(requests)} requests, "
+          f"pool={args.pool_workers}x{args.pool_mode}, "
+          f"policy={report.policy}")
+    print(f"served          : {served} ok, {len(responses) - served} errors, "
+          f"{wrong} incorrect results")
+    print(f"wall time       : {elapsed:.3f} s  "
+          f"({len(requests) / max(elapsed, 1e-9):.1f} requests/s)")
+    print(f"program cache   : {program.hits} hits / {program.lookups} lookups "
+          f"(pool-wide hit rate {100 * program.hit_rate:.1f}%)")
+    print(f"result cache    : {result.hits} hits / {result.lookups} lookups "
+          f"(hit rate {100 * result.hit_rate:.1f}%)")
+    print(f"dispatch        : makespan {report.schedule.makespan_s:.3f}, "
+          f"imbalance {report.schedule.imbalance():.3f}x")
+    rows = [{
+        "worker": s.index,
+        "batches": s.batches,
+        "requests": s.requests,
+        "prog_hit_%": round(100 * s.program_cache.hit_rate, 1),
+        "resident": len(s.resident_keys),
+    } for s in report.workers]
+    print(format_rows(rows))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -76,6 +132,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+
+    if args.pool_workers > 0:
+        return _run_pooled(args, requests)
 
     engine = Engine(
         program_cache=ProgramCache(capacity=args.cache_capacity,

@@ -22,9 +22,9 @@ from __future__ import annotations
 import hashlib
 import pickle
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.compiler import CompileOptions, compile_source
 from repro.dataflow.lowering import CompiledProgram
@@ -52,14 +52,35 @@ class CacheStats:
         """
         return self.hits / self.lookups if self.lookups else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-serializable form (the wire/benchmark representation)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
             "hit_rate": round(self.hit_rate, 4),
         }
+
+    def as_dict(self) -> Dict[str, float]:
+        return self.to_dict()
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy, safe to ship across a process boundary."""
+        return replace(self)
+
+    @classmethod
+    def merged(cls, stats: Iterable["CacheStats"]) -> "CacheStats":
+        """Aggregate counters across cache tiers (e.g. one per pool worker)."""
+        total = cls()
+        for entry in stats:
+            total.hits += entry.hits
+            total.misses += entry.misses
+            total.evictions += entry.evictions
+            total.disk_hits += entry.disk_hits
+            total.disk_writes += entry.disk_writes
+        return total
 
 
 class LRUCache:
@@ -140,6 +161,18 @@ class ProgramCache:
 
     def __len__(self) -> int:
         return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory
+
+    def resident_keys(self) -> List[str]:
+        """Memory-tier content keys, LRU order (oldest first).
+
+        This is the residency report a pool worker sends back to the
+        dispatcher so :class:`repro.sim.policies.CacheAffinityPolicy` can
+        route the next round of batches to warm caches.
+        """
+        return self._memory.keys()
 
     @staticmethod
     def key(source: str, function: str = "main",

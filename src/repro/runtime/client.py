@@ -1,0 +1,230 @@
+"""Client for the runtime server's NDJSON protocol, plus the CI smoke driver.
+
+:class:`RuntimeClient` is the programmatic side of
+:mod:`repro.runtime.server`: one TCP connection, one JSON object per line,
+blocking round-trips.  ``python -m repro.runtime.client --smoke`` is the
+end-to-end self-test CI runs on every Python version: it spawns a server
+subprocess on a free port, drives a synthetic trace through ``batch``
+round-trips, checks every response, and asserts the server shuts down
+cleanly (exit code 0) on the ``shutdown`` op.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import subprocess
+import sys
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+LISTENING_PREFIX = "runtime-server listening on "
+
+
+class ClientError(ReproError):
+    """The server connection failed or returned an unreadable reply."""
+
+
+class RuntimeClient:
+    """Blocking NDJSON client for one :class:`RuntimeServer` connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        try:
+            self._socket = socket.create_connection((host, port), timeout=timeout)
+        except OSError as error:
+            raise ClientError(f"cannot connect to {host}:{port}: {error}")
+        self._file = self._socket.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "RuntimeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one JSON line, block for one JSON line back."""
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ClientError("server closed the connection")
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ClientError(f"unreadable server reply: {error}")
+
+    # -- protocol ops -------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.roundtrip({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.roundtrip({"op": "stats"})
+
+    def request(self, **fields: Any) -> Dict[str, Any]:
+        """Serve one request, e.g. ``client.request(app="strlen", seed=1)``."""
+        payload = {"op": "request"}
+        payload.update(fields)
+        return self.roundtrip(payload)
+
+    def batch(self, requests: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Serve many requests through one pool flush; order is preserved."""
+        reply = self.roundtrip({"op": "batch", "requests": list(requests)})
+        if not reply.get("ok"):
+            raise ClientError(f"batch failed: {reply.get('error')}")
+        return reply["responses"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.roundtrip({"op": "shutdown"})
+
+
+def spawn_server(
+    extra_args: Optional[Sequence[str]] = None, startup_timeout: float = 60.0
+):
+    """Start ``python -m repro.runtime.server`` and wait for its endpoint.
+
+    Returns ``(process, host, port)``; the caller owns the process and
+    should drive a ``shutdown`` op (or kill it) when done.
+    """
+    command = [sys.executable, "-u", "-m", "repro.runtime.server", "--port", "0"]
+    command += list(extra_args or [])
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    # readline() has no timeout of its own; a reader thread bounds the wait
+    # so a server that hangs before announcing its endpoint fails fast.
+    box: Dict[str, str] = {}
+
+    def _read_endpoint() -> None:
+        box["line"] = process.stdout.readline()
+
+    reader = threading.Thread(target=_read_endpoint, daemon=True)
+    reader.start()
+    reader.join(startup_timeout)
+    line = box.get("line")
+    if line is None or not line.startswith(LISTENING_PREFIX):
+        process.kill()
+        what = "timed out" if line is None else f"got {line!r}"
+        raise ClientError(f"server failed to start ({what})")
+    host, _, port = line.removeprefix(LISTENING_PREFIX).strip().rpartition(":")
+    return process, host, int(port)
+
+
+def _smoke(args: argparse.Namespace) -> int:
+    """Spawn a server, drive a trace through it, assert a clean shutdown."""
+    from repro.runtime.trace import TraceConfig, synthetic_trace
+
+    trace = TraceConfig(
+        size=args.requests,
+        apps=[name.strip() for name in args.apps.split(",") if name.strip()],
+        backend_mix={"vrda": 1.0},
+        distinct_shapes=2,
+        n_threads=2,
+        seed=11,
+    )
+    payloads = [request.to_dict() for request in synthetic_trace(trace)]
+    server_args = ["--workers", str(args.workers)]
+    server_args += ["--pool-mode", args.pool_mode]
+    server_args += ["--policy", args.policy]
+    process, host, port = spawn_server(server_args)
+    try:
+        with RuntimeClient(host, port) as client:
+            assert client.ping().get("ok"), "ping failed"
+            served: List[Dict[str, Any]] = []
+            for start in range(0, len(payloads), args.chunk):
+                served += client.batch(payloads[start : start + args.chunk])
+            bad = [r for r in served if not r.get("ok")]
+            if len(served) != len(payloads) or bad:
+                print(
+                    f"smoke FAILED: {len(bad)} bad of {len(served)} responses:"
+                    f" {bad[:3]}",
+                    file=sys.stderr,
+                )
+                return 1
+            stats = client.stats()
+            hit_rate = stats["pool"]["program_cache"]["hit_rate"]
+            client.shutdown()
+        returncode = process.wait(timeout=60)
+    finally:
+        if process.poll() is None:
+            process.kill()
+    if returncode != 0:
+        print(f"smoke FAILED: server exited {returncode}", file=sys.stderr)
+        return 1
+    print(
+        f"smoke ok: {len(served)} requests over {args.pool_mode} pool "
+        f"({args.workers} workers, policy {args.policy}, "
+        f"program-cache hit rate {100 * hit_rate:.1f}%), clean shutdown"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.client",
+        description="Drive the runtime server: one-off requests or CI smoke.",
+    )
+    parser.add_argument("--host", type=str, default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="spawn a server subprocess and run the end-to-end self-test",
+    )
+    parser.add_argument("--requests", type=int, default=50)
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=10,
+        help="requests per batch round-trip in smoke mode",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--pool-mode", type=str, default="inline")
+    parser.add_argument("--policy", type=str, default="cache-affinity")
+    parser.add_argument("--apps", type=str, default="hash-table,search,murmur3")
+    parser.add_argument(
+        "--app",
+        type=str,
+        default=None,
+        help="serve one request against a running server",
+    )
+    parser.add_argument("--n-threads", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--backend", type=str, default="vrda")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        return _smoke(args)
+    if args.app is None:
+        print("nothing to do: pass --smoke, or --port plus --app", file=sys.stderr)
+        return 2
+    with RuntimeClient(args.host, args.port) as client:
+        response = client.request(
+            app=args.app,
+            n_threads=args.n_threads,
+            seed=args.seed,
+            backend=args.backend,
+        )
+    print(json.dumps(response, indent=2))
+    return 0 if response.get("ok") else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,8 +21,8 @@ re-executing, which is what makes a warm serving tier fast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.apps.base import AppInstance, AppSpec, REGISTRY
 from repro.compiler import CompileOptions
@@ -78,6 +78,47 @@ class Request:
             return spec, spec.source
         return None, self.source
 
+    # -- wire form (the server/client NDJSON protocol) ----------------------
+
+    #: Fields a JSON request payload may carry.  ``memory`` deliberately
+    #: isn't one of them: staged memory images don't cross the wire.
+    WIRE_FIELDS = ("app", "source", "function", "args", "n_threads", "seed",
+                   "backend", "options")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form; raises for requests with staged memory."""
+        if self.memory is not None:
+            raise EngineError("requests with staged 'memory' are not "
+                              "wire-serializable")
+        payload: Dict[str, Any] = {}
+        for name in self.WIRE_FIELDS:
+            value = getattr(self, name)
+            if name == "options":
+                value = asdict(value) if value is not None else None
+            if value not in (None, {}, ()):
+                payload[name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Request":
+        """Build a request from a JSON payload, rejecting unknown fields."""
+        if not isinstance(payload, dict):
+            raise EngineError("request payload must be a JSON object")
+        unknown = sorted(set(payload) - set(cls.WIRE_FIELDS))
+        if unknown:
+            raise EngineError(f"unknown request fields {unknown}; "
+                              f"expected a subset of {list(cls.WIRE_FIELDS)}")
+        fields = dict(payload)
+        options = fields.pop("options", None)
+        if options is not None:
+            try:
+                options = CompileOptions(**options)
+            except TypeError as error:
+                raise EngineError(f"bad compile options: {error}") from error
+        request = cls(options=options, **fields)
+        request.validate()
+        return request
+
 
 @dataclass
 class Response:
@@ -98,6 +139,16 @@ class Response:
     program_cache_hit: Optional[bool] = None
     result_cache_hit: bool = False
     batch_id: int = -1
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the server's response line).
+
+        The full :class:`~repro.sim.perf_model.ThroughputReport` collapses
+        to its rounded ``as_row`` dict so every field stays a JSON scalar.
+        """
+        payload = asdict(self)
+        payload["report"] = self.report.as_row() if self.report else None
+        return payload
 
 
 @dataclass
@@ -187,19 +238,33 @@ class Engine:
         self._queue = []
         return batches
 
+    def drain_failed(self) -> List[Response]:
+        """Take the error responses accumulated while coalescing.
+
+        :meth:`flush` drains these itself; external dispatchers (the worker
+        pool) that call :meth:`coalesce` directly must collect them here so
+        malformed requests still produce ordered error responses.
+        """
+        failed, self._failed = self._failed, []
+        return failed
+
     def flush(self) -> List[Response]:
         """Serve everything queued; returns responses in submission order."""
         responses: List[Response] = []
         for batch in self.coalesce():
-            responses.extend(self._execute_batch(batch))
-        responses.extend(self._failed)
-        self._failed = []
+            responses.extend(self.execute_batch(batch))
+        responses.extend(self.drain_failed())
         responses.sort(key=lambda r: r.request_id)
         return responses
 
     # -- execution ----------------------------------------------------------
 
-    def _execute_batch(self, batch: Batch) -> List[Response]:
+    def execute_batch(self, batch: Batch) -> List[Response]:
+        """Serve one coalesced batch (compile once, then run every entry).
+
+        Public because pool workers execute batches formed by a remote
+        dispatcher; responses come back in batch-entry order.
+        """
         backend = self.backends.get(batch.backend)
         program = None
         program_hit: Optional[bool] = None

@@ -1,0 +1,427 @@
+"""Cache-aware worker pool: process-parallel execution of engine batches.
+
+:class:`WorkerPool` is the layer between the engine's batch former and its
+batch executor.  A front :class:`~repro.runtime.engine.Engine` coalesces
+queued requests into per-program batches exactly as a single-process engine
+would; the pool then *dispatches* whole batches across ``N`` workers, each
+of which owns a private :class:`~repro.runtime.engine.Engine` with its own
+:class:`~repro.runtime.cache.ProgramCache` and memoized-response tier.
+
+Two execution modes share one dispatch path:
+
+* ``process`` — each worker is a ``multiprocessing`` child driven over a
+  pipe; all workers execute their batch lists concurrently (one scatter,
+  one gather per flush, so the pipe protocol cannot deadlock).
+* ``inline`` — each worker is an in-process engine executed sequentially in
+  dispatch order.  Same batches, same per-worker caches, same responses:
+  the deterministic fallback tests and CI rely on.
+
+Dispatch itself runs through :class:`~repro.runtime.scheduler.ShardScheduler`
+with the batch's content-addressed program key as the affinity key.  Under
+``cache-affinity`` (:class:`repro.sim.policies.CacheAffinityPolicy`) a batch
+goes to a free worker whose cache already holds its program; after every
+flush the workers report their actual cache residency back, and the
+dispatcher seeds the policy with those reports before the next round — the
+feedback loop the ROADMAP calls "route requests to the worker that has the
+program resident".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+from repro.runtime.cache import CacheStats, ProgramCache
+from repro.runtime.engine import Batch, Engine, Request, Response
+from repro.runtime.scheduler import ScheduleReport, ShardScheduler
+from repro.sim.policies import AdmissionPolicy, CacheAffinityPolicy, make_policy
+
+POOL_MODES = ("inline", "process")
+
+
+class PoolError(ReproError):
+    """The worker pool was misconfigured or lost a worker."""
+
+
+@dataclass
+class WorkerConfig:
+    """Everything one pool worker needs to build its private engine."""
+
+    cache_capacity: int = 64
+    result_cache_capacity: int = 512
+    max_batch_size: int = 16
+    init_latency_s: float = 1e-4
+    #: Root of the on-disk program-cache tier; each worker pickles into its
+    #: own subdirectory so concurrent processes never race on one file.
+    disk_cache_dir: Optional[str] = None
+
+    def build_engine(self, index: int = 0) -> Engine:
+        disk_dir = (
+            Path(self.disk_cache_dir) / f"worker-{index}"
+            if self.disk_cache_dir is not None
+            else None
+        )
+        return Engine(
+            program_cache=ProgramCache(
+                capacity=self.cache_capacity, disk_dir=disk_dir
+            ),
+            result_cache_capacity=self.result_cache_capacity,
+            max_batch_size=self.max_batch_size,
+            init_latency_s=self.init_latency_s,
+        )
+
+
+@dataclass
+class WorkerSnapshot:
+    """One worker's cumulative state, reported back after each flush."""
+
+    index: int
+    batches: int
+    requests: int
+    program_cache: CacheStats
+    result_cache: CacheStats
+    resident_keys: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "worker": self.index,
+            "batches": self.batches,
+            "requests": self.requests,
+            "program_cache": self.program_cache.to_dict(),
+            "result_cache": self.result_cache.to_dict(),
+            "resident_programs": len(self.resident_keys),
+        }
+
+
+def _crash_responses(batch: Batch, error: Exception) -> List[Response]:
+    """Error responses for every entry of a batch whose worker blew up."""
+    return [
+        Response(
+            request_id=request_id,
+            app=request.app,
+            backend=request.backend,
+            ok=False,
+            error=f"worker failure: {error}",
+            batch_id=batch.batch_id,
+        )
+        for request_id, request in batch.entries
+    ]
+
+
+def _run_batches(
+    engine: Engine, batches: Sequence[Batch]
+) -> Tuple[List[Response], int]:
+    """Execute a worker's batch list; unexpected errors become responses."""
+    responses: List[Response] = []
+    served = 0
+    for batch in batches:
+        served += len(batch)
+        try:
+            responses.extend(engine.execute_batch(batch))
+        except Exception as error:  # noqa: BLE001 - a worker must not die
+            responses.extend(_crash_responses(batch, error))
+    return responses, served
+
+
+def _snapshot(
+    index: int, engine: Engine, batches: int, requests: int
+) -> WorkerSnapshot:
+    return WorkerSnapshot(
+        index=index,
+        batches=batches,
+        requests=requests,
+        program_cache=engine.program_cache_stats.snapshot(),
+        result_cache=engine.result_cache_stats.snapshot(),
+        resident_keys=engine.program_cache.resident_keys(),
+    )
+
+
+def _process_worker_main(connection, index: int, config: WorkerConfig) -> None:
+    """Entry point of one pool child: serve ``run`` messages until ``stop``."""
+    engine = config.build_engine(index)
+    batches_done = 0
+    requests_done = 0
+    while True:
+        try:
+            message = connection.recv()
+        except EOFError:
+            break
+        if message[0] == "stop":
+            break
+        batches = message[1]
+        responses, served = _run_batches(engine, batches)
+        batches_done += len(batches)
+        requests_done += served
+        connection.send(
+            (responses, _snapshot(index, engine, batches_done, requests_done))
+        )
+    connection.close()
+
+
+class _InlineWorker:
+    """Deterministic in-process worker: same engine, no child process."""
+
+    def __init__(self, index: int, config: WorkerConfig):
+        self.index = index
+        self.engine = config.build_engine(index)
+        self._batches = 0
+        self._requests = 0
+        self._pending: Optional[Tuple[List[Response], WorkerSnapshot]] = None
+
+    def submit(self, batches: Sequence[Batch]) -> None:
+        responses, served = _run_batches(self.engine, batches)
+        self._batches += len(batches)
+        self._requests += served
+        self._pending = (
+            responses,
+            _snapshot(self.index, self.engine, self._batches, self._requests),
+        )
+
+    def collect(self) -> Tuple[List[Response], WorkerSnapshot]:
+        assert self._pending is not None, "collect() before submit()"
+        pending, self._pending = self._pending, None
+        return pending
+
+    def stop(self) -> None:
+        pass
+
+
+class _ProcessWorker:
+    """One multiprocessing child plus the parent-side pipe to drive it."""
+
+    def __init__(self, index: int, config: WorkerConfig, context):
+        self.index = index
+        self.connection, child = context.Pipe()
+        self.process = context.Process(
+            target=_process_worker_main,
+            args=(child, index, config),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def submit(self, batches: Sequence[Batch]) -> None:
+        try:
+            self.connection.send(("run", batches))
+        except (BrokenPipeError, OSError) as error:
+            raise PoolError(f"pool worker {self.index} is gone: {error}")
+
+    def collect(self) -> Tuple[List[Response], WorkerSnapshot]:
+        try:
+            return self.connection.recv()
+        except EOFError as error:
+            raise PoolError(f"pool worker {self.index} died mid-batch") from error
+
+    def stop(self) -> None:
+        try:
+            self.connection.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5)
+        self.connection.close()
+
+
+@dataclass
+class PoolReport:
+    """Everything one flush produced: responses plus dispatch evidence."""
+
+    mode: str
+    responses: List[Response]
+    workers: List[WorkerSnapshot]
+    schedule: ScheduleReport
+
+    @property
+    def policy(self) -> str:
+        return self.schedule.policy
+
+    def aggregate_program_stats(self) -> CacheStats:
+        return CacheStats.merged(w.program_cache for w in self.workers)
+
+    def aggregate_result_stats(self) -> CacheStats:
+        return CacheStats.merged(w.result_cache for w in self.workers)
+
+    def program_hit_rate(self) -> float:
+        """Pool-wide program-cache hit rate (the affinity headline metric)."""
+        return self.aggregate_program_stats().hit_rate
+
+    def to_dict(self) -> Dict[str, Any]:
+        ok = sum(1 for r in self.responses if r.error is None)
+        return {
+            "mode": self.mode,
+            "policy": self.policy,
+            "responses": len(self.responses),
+            "ok": ok,
+            "errors": len(self.responses) - ok,
+            "program_cache": self.aggregate_program_stats().to_dict(),
+            "result_cache": self.aggregate_result_stats().to_dict(),
+            "workers": [w.to_dict() for w in self.workers],
+            "schedule": self.schedule.to_dict(),
+        }
+
+
+class WorkerPool:
+    """Executes engine batches across N cache-owning workers.
+
+    The pool is long-lived: submit/flush as many rounds as you like (the
+    server does exactly that), then :meth:`close` it — or use it as a
+    context manager.  ``policy`` accepts any :data:`repro.sim.policies`
+    name or instance; ``cache-affinity`` (the default) is the one that
+    exploits the per-worker program caches.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        mode: str = "inline",
+        policy: Union[str, AdmissionPolicy] = "cache-affinity",
+        cache_capacity: int = 64,
+        result_cache_capacity: int = 512,
+        max_batch_size: int = 16,
+        buffers_per_worker: int = 8,
+        init_latency_s: float = 1e-4,
+        disk_cache_dir: Optional[str] = None,
+        mp_context: str = "spawn",
+    ):
+        if workers <= 0:
+            raise PoolError("need at least one pool worker")
+        if mode not in POOL_MODES:
+            raise PoolError(f"unknown pool mode '{mode}'; choose from {POOL_MODES}")
+        self.workers = workers
+        self.mode = mode
+        self.config = WorkerConfig(
+            cache_capacity=cache_capacity,
+            result_cache_capacity=result_cache_capacity,
+            max_batch_size=max_batch_size,
+            init_latency_s=init_latency_s,
+            disk_cache_dir=disk_cache_dir,
+        )
+        self._policy = (
+            CacheAffinityPolicy(cache_capacity=cache_capacity)
+            if policy == "cache-affinity"
+            else make_policy(policy)
+        )
+        self._scheduler = ShardScheduler(
+            workers=workers,
+            buffers_per_worker=buffers_per_worker,
+            policy=self._policy,
+        )
+        # The front engine only queues and coalesces; capacity-0 caches keep
+        # it from ever compiling or memoizing anything itself.
+        self._front = Engine(
+            program_cache=ProgramCache(capacity=0),
+            result_cache_capacity=0,
+            max_batch_size=max_batch_size,
+        )
+        if mode == "process":
+            context = multiprocessing.get_context(mp_context)
+            self._workers = [
+                _ProcessWorker(i, self.config, context) for i in range(workers)
+            ]
+        else:
+            self._workers = [_InlineWorker(i, self.config) for i in range(workers)]
+        self._residency: Optional[List[List[str]]] = None
+        # Idle workers are skipped per flush; their last snapshot (initially
+        # an empty one) still describes their caches exactly.
+        self.last_snapshots: List[WorkerSnapshot] = [
+            WorkerSnapshot(
+                index=i,
+                batches=0,
+                requests=0,
+                program_cache=CacheStats(),
+                result_cache=CacheStats(),
+            )
+            for i in range(workers)
+        ]
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.stop()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- serving ------------------------------------------------------------
+
+    def submit(self, request: Request) -> int:
+        """Queue one request; returns its id (also its response order)."""
+        return self._front.submit(request)
+
+    def process(self, requests: Sequence[Request]) -> PoolReport:
+        """Submit and serve a whole trace; responses in submission order."""
+        for request in requests:
+            self.submit(request)
+        return self.flush()
+
+    def flush(self) -> PoolReport:
+        """Dispatch everything queued across the pool and gather responses."""
+        if self._closed:
+            raise PoolError("pool is closed")
+        batches = self._front.coalesce()
+        failed = self._front.drain_failed()
+        if isinstance(self._policy, CacheAffinityPolicy) and self._residency:
+            self._policy.seed(self._residency)
+        schedule = self._scheduler.dispatch(
+            [float(len(batch)) for batch in batches],
+            keys=[batch.program_key for batch in batches],
+        )
+        assigned: List[List[Batch]] = [[] for _ in range(self.workers)]
+        for batch, worker in zip(batches, schedule.assignments):
+            assigned[worker].append(batch)
+        # Idle workers (no batches this flush) are skipped entirely: their
+        # caches cannot have changed, so their previous snapshot still holds
+        # and the single-request path costs one worker round-trip, not N.
+        active = [i for i in range(self.workers) if assigned[i]]
+        responses = list(failed)
+        snapshots = list(self.last_snapshots)
+        try:
+            for index in active:
+                self._workers[index].submit(assigned[index])
+            for index in active:
+                worker_responses, snapshot = self._workers[index].collect()
+                responses.extend(worker_responses)
+                snapshots[index] = snapshot
+        except PoolError:
+            # A lost worker desynchronizes its pipe (and possibly others'
+            # pending replies); the pool cannot serve another flush safely.
+            self.close()
+            raise
+        responses.sort(key=lambda r: r.request_id)
+        self._residency = [list(s.resident_keys) for s in snapshots]
+        self.last_snapshots = snapshots
+        return PoolReport(
+            mode=self.mode,
+            responses=responses,
+            workers=snapshots,
+            schedule=schedule,
+        )
+
+    # -- stats --------------------------------------------------------------
+
+    def stats_row(self) -> Dict[str, Any]:
+        """Cumulative pool stats from the most recent flush's snapshots."""
+        return {
+            "mode": self.mode,
+            "policy": getattr(self._policy, "name", str(self._policy)),
+            "workers": [s.to_dict() for s in self.last_snapshots],
+            "program_cache": CacheStats.merged(
+                s.program_cache for s in self.last_snapshots
+            ).to_dict(),
+            "result_cache": CacheStats.merged(
+                s.result_cache for s in self.last_snapshots
+            ).to_dict(),
+        }

@@ -19,7 +19,7 @@ time.  Costs normally come from the engine's modeled per-request latency
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Hashable, List, Optional, Sequence, Union
 
 from repro.sim.policies import AdmissionPolicy, make_policy, run_admission
 
@@ -68,6 +68,17 @@ class ScheduleReport:
             "share_%": round(w.share_percent, 2),
         } for w in self.workers]
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (server stats / benchmark records)."""
+        return {
+            "policy": self.policy,
+            "makespan_s": self.makespan_s,
+            "imbalance": round(self.imbalance(), 4),
+            "total_tasks": self.total_tasks,
+            "workers": self.as_rows(),
+            "assignments": list(self.assignments),
+        }
+
 
 class ShardScheduler:
     """Dispatches task costs across N simulated workers under a policy."""
@@ -85,14 +96,23 @@ class ShardScheduler:
         self.worker_scales = (list(worker_scales) if worker_scales is not None
                               else [1.0] * workers)
 
-    def dispatch(self, costs: Sequence[float]) -> ScheduleReport:
-        """Assign each task cost to a worker; returns the full report."""
+    def dispatch(self, costs: Sequence[float],
+                 keys: Optional[Sequence[Hashable]] = None) -> ScheduleReport:
+        """Assign each task cost to a worker; returns the full report.
+
+        ``keys`` aligns one content key per task for key-aware policies
+        (``cache-affinity``); other policies ignore them.  Passing a policy
+        *instance* to the constructor keeps its residency model alive
+        across dispatch calls — that is how the worker pool feeds real
+        per-worker cache reports back into admission.
+        """
         policy = make_policy(self.policy)
         result = run_admission(
             task_costs=list(costs),
             worker_scales=self.worker_scales,
             buffers=[self.buffers_per_worker] * self.workers,
             policy=policy,
+            task_keys=list(keys) if keys is not None else None,
         )
         shares = result.shares_percent()
         reports = [WorkerReport(index=w, scale=self.worker_scales[w],
@@ -103,7 +123,9 @@ class ShardScheduler:
         return ScheduleReport(policy=policy.name, workers=reports,
                               assignments=result.assignments)
 
-    def dispatch_responses(self, responses: Sequence[object]) -> ScheduleReport:
+    def dispatch_responses(self, responses: Sequence[object],
+                           keys: Optional[Sequence[Hashable]] = None
+                           ) -> ScheduleReport:
         """Shard served responses by their modeled latency.
 
         Accepts any objects with a ``modeled_runtime_s`` attribute (i.e.
@@ -112,4 +134,4 @@ class ShardScheduler:
         """
         costs = [max(getattr(r, "modeled_runtime_s", 0.0), 1e-9)
                  for r in responses]
-        return self.dispatch(costs)
+        return self.dispatch(costs, keys=keys)

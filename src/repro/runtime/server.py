@@ -1,0 +1,240 @@
+"""Persistent serving front-end: newline-delimited JSON over TCP.
+
+``python -m repro.runtime.server`` turns the worker pool into a long-lived
+process.  Clients connect over TCP and exchange one JSON object per line:
+
+Request lines (client → server)::
+
+    {"op": "request", "app": "strlen", "n_threads": 4, "seed": 1}
+    {"op": "batch", "requests": [{"app": "search"}, {"app": "murmur3"}]}
+    {"op": "ping"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+``op`` defaults to ``request``, so a bare request object
+(``{"app": "strlen"}``) is also accepted.  Request fields are exactly
+:attr:`repro.runtime.engine.Request.WIRE_FIELDS`; responses are
+:meth:`repro.runtime.engine.Response.to_dict` objects (plus ``{"ok": false,
+"error": ...}`` envelopes for malformed lines).  ``batch`` serves many
+requests through one pool flush — that is the high-throughput path, since
+the pool coalesces and cache-affinity-routes the whole set at once.
+
+The server accepts concurrent connections (one thread each); pool access is
+serialized behind a lock, so requests from different clients still batch
+through one dispatcher.  ``shutdown`` stops the accept loop, closes the
+pool's workers, and lets the process exit cleanly — CI drives 50 requests
+through this path and asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socketserver
+import sys
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.runtime.engine import Request
+from repro.runtime.pool import POOL_MODES, PoolError, WorkerPool
+from repro.sim.policies import POLICIES
+
+#: Bumped when a wire-visible field changes meaning.
+PROTOCOL_VERSION = 1
+
+
+class RuntimeServer(socketserver.ThreadingTCPServer):
+    """Threaded NDJSON front door over one shared :class:`WorkerPool`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, pool: WorkerPool):
+        super().__init__(address, _LineHandler)
+        self.pool = pool
+        self.pool_lock = threading.Lock()
+        self.served = 0
+
+    @property
+    def endpoint(self) -> str:
+        host, port = self.server_address[:2]
+        return f"{host}:{port}"
+
+    def serve_payloads(self, payloads: Sequence[Any]) -> List[Dict[str, Any]]:
+        """Serve one client batch of JSON request payloads, order-preserving.
+
+        Malformed payloads become error envelopes without poisoning the
+        rest of the batch; valid ones go through one pool flush together.
+        """
+        slots: List[tuple] = []
+        with self.pool_lock:
+            try:
+                for payload in payloads:
+                    try:
+                        slots.append(
+                            ("id", self.pool.submit(Request.from_dict(payload)))
+                        )
+                    except (ReproError, TypeError, ValueError) as error:
+                        slots.append(("error", str(error)))
+                report = self.pool.flush()
+            except PoolError as error:
+                # A lost worker closed the pool; a server that can never
+                # serve again must exit (cleanly) so a supervisor restarts
+                # it, not linger as a listening zombie.  Clients still get
+                # an error envelope per request before the loop stops.
+                self.request_shutdown()
+                message = f"worker pool failed: {error}; server shutting down"
+                return [{"ok": False, "error": message} for _ in payloads]
+            self.served += len(payloads)
+        responses = {r.request_id: r for r in report.responses}
+        results: List[Dict[str, Any]] = []
+        for kind, value in slots:
+            if kind == "id":
+                results.append(responses[value].to_dict())
+            else:
+                results.append({"ok": False, "error": value})
+        return results
+
+    def stats_payload(self) -> Dict[str, Any]:
+        with self.pool_lock:
+            return {
+                "ok": True,
+                "op": "stats",
+                "version": PROTOCOL_VERSION,
+                "served": self.served,
+                "pool": self.pool.stats_row(),
+            }
+
+    def request_shutdown(self) -> None:
+        # shutdown() blocks until serve_forever() exits, so it must run off
+        # the handler thread that is still inside a request.
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    """One connection: read JSON lines until EOF or shutdown."""
+
+    server: RuntimeServer
+
+    def _reply(self, payload: Dict[str, Any]) -> None:
+        self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self.wfile.flush()
+
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                self._reply({"ok": False, "error": f"bad JSON line: {error}"})
+                continue
+            if not isinstance(payload, dict):
+                self._reply({"ok": False, "error": "each line must be a JSON object"})
+                continue
+            op = payload.pop("op", "request")
+            if op == "ping":
+                self._reply({"ok": True, "op": "ping", "version": PROTOCOL_VERSION})
+            elif op == "stats":
+                self._reply(self.server.stats_payload())
+            elif op == "request":
+                self._reply(self.server.serve_payloads([payload])[0])
+            elif op == "batch":
+                requests = payload.get("requests")
+                if not isinstance(requests, list):
+                    self._reply(
+                        {"ok": False, "error": "'batch' needs a 'requests' list"}
+                    )
+                    continue
+                self._reply(
+                    {
+                        "ok": True,
+                        "op": "batch",
+                        "responses": self.server.serve_payloads(requests),
+                    }
+                )
+            elif op == "shutdown":
+                self._reply({"ok": True, "op": "shutdown"})
+                self.server.request_shutdown()
+                return
+            else:
+                self._reply({"ok": False, "error": f"unknown op '{op}'"})
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.server",
+        description="Serve runtime requests over newline-delimited JSON/TCP.",
+    )
+    parser.add_argument("--host", type=str, default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks a free one)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="pool workers (default 4)"
+    )
+    parser.add_argument(
+        "--pool-mode",
+        type=str,
+        default="inline",
+        choices=POOL_MODES,
+        help="inline (deterministic, in-process) or process (parallel)",
+    )
+    parser.add_argument(
+        "--policy",
+        type=str,
+        default="cache-affinity",
+        choices=sorted(POLICIES),
+        help="batch admission policy (default cache-affinity)",
+    )
+    parser.add_argument("--cache-capacity", type=int, default=64)
+    parser.add_argument("--result-cache", type=int, default=512)
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument(
+        "--disk-cache",
+        type=str,
+        default=None,
+        help="root directory for per-worker on-disk program caches",
+    )
+    parser.add_argument(
+        "--mp-context",
+        type=str,
+        default="spawn",
+        help="multiprocessing start method for process mode",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    pool = WorkerPool(
+        workers=args.workers,
+        mode=args.pool_mode,
+        policy=args.policy,
+        cache_capacity=args.cache_capacity,
+        result_cache_capacity=args.result_cache,
+        max_batch_size=args.max_batch,
+        disk_cache_dir=args.disk_cache,
+        mp_context=args.mp_context,
+    )
+    with pool:
+        server = RuntimeServer((args.host, args.port), pool)
+        with server:
+            # The one line launchers parse: host:port on stdout, flushed.
+            print(f"runtime-server listening on {server.endpoint}", flush=True)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+        print(
+            f"runtime-server stopped after {server.served} requests",
+            file=sys.stderr,
+            flush=True,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

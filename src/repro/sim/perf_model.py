@@ -21,9 +21,8 @@ corresponding bottleneck.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.machine import DEFAULT_MACHINE, MachineConfig
 from repro.core.memory import MemoryStats

@@ -4,9 +4,8 @@ import pytest
 
 from repro.core.executor import Executor, run_graph, zip_streams, unzip_stream
 from repro.core.graph import DFGraph, DFNode, OPCODES
-from repro.core.machine import LinkKind
 from repro.core.memory import MemorySystem
-from repro.core.sltf import Barrier, Data, data_values, decode, encode
+from repro.core.sltf import data_values, decode, encode
 from repro.errors import GraphError
 
 
@@ -30,7 +29,7 @@ class TestGraphConstruction:
 
     def test_topo_order_detects_undefined_inputs(self):
         g = DFGraph()
-        orphan = g.add_node("const", [g.add_input("a")], params={"value": 1})
+        g.add_node("const", [g.add_input("a")], params={"value": 1})
         # Fabricate a node that uses a value never defined in this graph.
         other = DFGraph()
         foreign = other.add_input("foreign")
@@ -40,7 +39,7 @@ class TestGraphConstruction:
 
     def test_verify_checks_output_defined(self):
         g = DFGraph()
-        x = g.add_input("x")
+        g.add_input("x")
         other = DFGraph()
         g.set_outputs([other.add_input("y")])
         with pytest.raises(GraphError):
@@ -49,7 +48,7 @@ class TestGraphConstruction:
     def test_verify_node_arities(self):
         g = DFGraph()
         x = g.add_input("x")
-        node = g.add_node("broadcast", [x], name="bad")
+        g.add_node("broadcast", [x], name="bad")
         with pytest.raises(GraphError):
             g.verify()
 
@@ -167,11 +166,11 @@ class TestMemoryNodes:
             params={"fn": "mul"},
             name="addr",
         )
-        store = g.add_node(
+        g.add_node(
             "sram_write", [addr.outputs[0], val], params={"site": "buf"}, name="st"
         )
         load = g.add_node("sram_read", [addr.outputs[0]], params={"site": "buf"}, name="ld")
-        free = g.add_node("sram_free", [alloc.outputs[0]], params={"site": "buf"})
+        g.add_node("sram_free", [alloc.outputs[0]], params={"site": "buf"})
         g.set_outputs([load.outputs[0]])
         mem = MemorySystem()
         out = run_graph(g, {"trig": [0, 0], "val": [11, 22]}, memory=mem)
@@ -193,7 +192,7 @@ class TestMemoryNodes:
             params={"fn": "add"},
             name="oaddr",
         )
-        wr = g.add_node("dram_write", [out_addr.outputs[0], wr_val.outputs[0]], name="wr")
+        g.add_node("dram_write", [out_addr.outputs[0], wr_val.outputs[0]], name="wr")
         g.set_outputs([rd.outputs[0]])
         mem.dram_alloc("out", size=16)
         out = run_graph(g, {"addr": [seg.base, seg.base + 2]}, memory=mem)
@@ -232,7 +231,7 @@ class TestRegionNodes:
 
         cond = DFGraph("cond")
         cn = cond.add_input("n")
-        cs = cond.add_input("steps")
+        cond.add_input("steps")
         one = cond.add_node("const", [cn], params={"value": 1})
         gt = cond.add_node("compute", [cn, one.outputs[0]], params={"fn": "gt"})
         cond.set_outputs([gt.outputs[0]])
@@ -345,7 +344,7 @@ class TestRegionNodes:
 
         cond = DFGraph("cond")
         cv = cond.add_input("v")
-        cc = cond.add_input("count")
+        cond.add_input("count")
         czero = cond.add_node("const", [cv], params={"value": 0})
         cgt = cond.add_node("compute", [cv, czero.outputs[0]], params={"fn": "gt"})
         cond.set_outputs([cgt.outputs[0]])

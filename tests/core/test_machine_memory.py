@@ -135,7 +135,7 @@ class TestMemorySystem:
         mem = MemorySystem()
         site = mem.site("s", buffer_words=4, max_buffers=8)
         a = mem.sram_alloc("s")
-        b = mem.sram_alloc("s")
+        mem.sram_alloc("s")
         mem.sram_free("s", a)
         assert site.high_water == 2
         assert site.words_in_use == 8

@@ -98,7 +98,8 @@ class TestCounterReduceFlatten:
 
     def test_reduce_empty_tensor_semantics(self):
         # Paper Section III-A: [[]] -> [0], [[],[]] -> [0,0], [] -> [].
-        add = lambda a, b: a + b
+        def add(a, b):
+            return a + b
         assert decode(prim.reduce_stream(add, 0, encode([[]], 2)), 1) == [0]
         assert decode(prim.reduce_stream(add, 0, encode([[], []], 2)), 1) == [0, 0]
         assert decode(prim.reduce_stream(add, 0, encode([], 2)), 1) == []

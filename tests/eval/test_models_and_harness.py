@@ -1,7 +1,5 @@
 """Tests for the resource model, performance models, baselines, and harness."""
 
-import pytest
-
 from repro.apps import REGISTRY
 from repro.baselines.aurochs import AurochsModel
 from repro.baselines.cpu import CPUModel
@@ -100,8 +98,8 @@ class TestLoadBalanceSimulator:
         sim = LoadBalanceSimulator(regions=8, slow_region=0, slow_factor=1.3)
         loads = sim.run(100_000)
         assert loads[0].share_percent < 100.0 / 8
-        assert max(l.share_percent for l in loads[1:]) > 100.0 / 8
-        assert sum(l.threads for l in loads) == 100_000
+        assert max(load.share_percent for load in loads[1:]) > 100.0 / 8
+        assert sum(load.threads for load in loads) == 100_000
 
     def test_static_partitioning_is_slower(self):
         sim = LoadBalanceSimulator()

@@ -69,7 +69,6 @@ class TestOperations:
 
     def test_replace_all_uses_with(self):
         module, f, total = build_simple_func()
-        entry = func.entry_block(f)
         b = Builder()
         b.set_insertion_point_before(total.owner)
         two = arith.constant(b, 2)
@@ -212,7 +211,7 @@ class TestDialectHelpers:
         b.set_insertion_point_to_end(func.entry_block(f))
         dram = revet.dram_ref(b, "input", element_width=8)
         it = revet.it_new(b, "ReadIt", 64, dram, func.entry_block(f).args[0])
-        v = revet.it_deref(b, it)
+        revet.it_deref(b, it)
         revet.it_advance(b, it)
         fe = revet.foreach(b, func.entry_block(f).args[0], arith.constant(b, 1))
         fb = Builder()
@@ -261,7 +260,7 @@ class TestVerifier:
         f = func.func(module, "w", [I32], [])
         b = Builder()
         b.set_insertion_point_to_end(func.entry_block(f))
-        loop = scf.while_(b, [func.entry_block(f).args[0]])
+        scf.while_(b, [func.entry_block(f).args[0]])
         func.ret(b)
         with pytest.raises(IRError):
             verify(module)

@@ -1,7 +1,5 @@
 """Unit tests for the individual compiler passes (Figure 8 middle stages)."""
 
-import pytest
-
 from repro.frontend import compile_source_to_ir
 from repro.ir import PassManager, ops_named, verify
 from repro.passes import (
@@ -185,5 +183,5 @@ class TestAnnotationPasses:
         module = self._module()
         loops = ops_named(module, "scf.while")
         assert loops
-        assert all("subword_live_values" in l.attrs for l in loops)
-        assert all("packed_lanes" in l.attrs for l in loops)
+        assert all("subword_live_values" in loop.attrs for loop in loops)
+        assert all("packed_lanes" in loop.attrs for loop in loops)

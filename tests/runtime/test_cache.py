@@ -1,6 +1,5 @@
 """ProgramCache: content addressing, LRU eviction, stats, and the disk tier."""
 
-import pickle
 
 import pytest
 

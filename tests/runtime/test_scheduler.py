@@ -15,7 +15,7 @@ from repro.sim.policies import (
 class TestPolicies:
     def test_registry_names(self):
         assert set(POLICIES) == {"round-robin", "least-loaded",
-                                 "hoisted-buffer"}
+                                 "hoisted-buffer", "cache-affinity"}
         for name in POLICIES:
             assert make_policy(name).name == name
 

@@ -1,0 +1,144 @@
+"""Socket server + client: protocol round-trips over a real TCP connection."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.runtime.client import ClientError, RuntimeClient
+from repro.runtime.engine import EngineError, Request
+from repro.runtime.pool import WorkerPool
+from repro.runtime.server import PROTOCOL_VERSION, RuntimeServer
+
+
+@pytest.fixture()
+def server():
+    pool = WorkerPool(workers=2, mode="inline", policy="cache-affinity")
+    with pool:
+        instance = RuntimeServer(("127.0.0.1", 0), pool)
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield instance
+        finally:
+            instance.shutdown()
+            instance.server_close()
+            thread.join(timeout=10)
+
+
+def connect(server):
+    host, port = server.server_address[:2]
+    return RuntimeClient(host, port, timeout=30.0)
+
+
+class TestWireFormat:
+    def test_request_round_trips(self):
+        request = Request(app="strlen", n_threads=4, seed=3, backend="cpu")
+        assert Request.from_dict(request.to_dict()) == request
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(EngineError):
+            Request.from_dict({"app": "strlen", "bogus": 1})
+
+    def test_staged_memory_is_not_serializable(self):
+        from repro.core.memory import MemorySystem
+
+        request = Request(source="void main() {}", memory=MemorySystem())
+        with pytest.raises(EngineError):
+            request.to_dict()
+
+
+class TestProtocol:
+    def test_ping(self, server):
+        with connect(server) as client:
+            reply = client.ping()
+        assert reply == {"ok": True, "op": "ping", "version": PROTOCOL_VERSION}
+
+    def test_single_request(self, server):
+        with connect(server) as client:
+            reply = client.request(app="search", n_threads=2, seed=0)
+        assert reply["ok"] and reply["correct"]
+        assert reply["backend"] == "vrda"
+        assert reply["outputs"] is not None
+
+    def test_bare_request_object_defaults_to_request_op(self, server):
+        with connect(server) as client:
+            reply = client.roundtrip({"app": "search", "n_threads": 2})
+        assert reply["ok"]
+
+    def test_batch_preserves_order_and_isolates_bad_payloads(self, server):
+        with connect(server) as client:
+            replies = client.batch([
+                {"app": "search", "n_threads": 2},
+                {"app": "no-such-app"},
+                {"bogus-field": 1},
+                {"app": "murmur3", "n_threads": 2, "backend": "gpu"},
+            ])
+        assert [r.get("ok") for r in replies] == [True, False, False, True]
+        assert "no-such-app" in replies[1]["error"]
+        assert "bogus-field" in replies[2]["error"]
+
+    def test_stats_reports_pool_state(self, server):
+        with connect(server) as client:
+            client.batch([{"app": "search", "n_threads": 2}] * 4)
+            stats = client.stats()
+        assert stats["ok"] and stats["served"] == 4
+        assert stats["pool"]["policy"] == "cache-affinity"
+        assert len(stats["pool"]["workers"]) == 2
+
+    def test_malformed_lines_get_error_envelopes(self, server):
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=30.0) as raw:
+            handle = raw.makefile("rwb")
+            handle.write(b"this is not json\n[1, 2]\n")
+            handle.flush()
+            first = json.loads(handle.readline())
+            second = json.loads(handle.readline())
+        assert not first["ok"] and "bad JSON" in first["error"]
+        assert not second["ok"] and "JSON object" in second["error"]
+
+    def test_unknown_op_rejected(self, server):
+        with connect(server) as client:
+            reply = client.roundtrip({"op": "dance"})
+        assert not reply["ok"] and "unknown op" in reply["error"]
+
+    def test_two_connections_share_one_pool(self, server):
+        with connect(server) as first, connect(server) as second:
+            first.batch([{"app": "search", "n_threads": 2}] * 2)
+            second.batch([{"app": "search", "n_threads": 2}] * 2)
+            stats = second.stats()
+        assert stats["served"] == 4
+
+    def test_pool_failure_gets_error_envelope_and_stops_server(self):
+        pool = WorkerPool(workers=2, mode="process")
+        with pool:
+            instance = RuntimeServer(("127.0.0.1", 0), pool)
+            thread = threading.Thread(target=instance.serve_forever, daemon=True)
+            thread.start()
+            try:
+                with connect(instance) as client:
+                    assert client.request(app="search", n_threads=2)["ok"]
+                    pool._workers[0].process.kill()
+                    pool._workers[0].process.join()
+                    replies = [
+                        client.request(app="search", n_threads=2, seed=s)
+                        for s in range(2)
+                    ]
+                # Every request of the failing flush is answered, not dropped,
+                # and the accept loop exits so a supervisor can restart us.
+                assert any("worker pool failed" in (r.get("error") or "")
+                           for r in replies)
+                thread.join(timeout=10)
+                assert not thread.is_alive()
+            finally:
+                instance.shutdown()
+                instance.server_close()
+                thread.join(timeout=10)
+
+    def test_client_error_on_closed_server(self, server):
+        host, port = server.server_address[:2]
+        server.shutdown()
+        server.server_close()
+        with pytest.raises(ClientError):
+            RuntimeClient(host, port, timeout=5.0).ping()

@@ -1,10 +1,7 @@
 """End-to-end compiler tests: Revet source -> dataflow graph -> execution."""
 
-import pytest
-
 from repro.compiler import CompileOptions, compile_source
 from repro.core.memory import MemorySystem
-from repro.core.sltf import data_values
 
 
 STRLEN_SOURCE = """
