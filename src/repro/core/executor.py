@@ -12,17 +12,32 @@ counts, trip counts) in an :class:`ExecutionProfile`.  The cycle-level
 performance model consumes this profile to derive throughput, which is how
 the paper's ``runtime = size / throughput + init`` evaluation model is
 reproduced without re-running token-level timing for full-size datasets.
+
+Serving fast path
+-----------------
+
+A cold serving request executes one graph exactly once, but region bodies
+re-run once per loop iteration, so naive per-visit work (re-deriving the
+topological order, ``getattr``-resolving the handler for every node firing,
+re-resolving ``compute`` opcodes) dominates the cold path.  A
+:class:`NodeSchedule` precompiles all of that once per program — the topo
+order of every graph in the hierarchy plus per-node handler/opcode
+resolution — and is cached per graph (keyed on the graph's structural
+version), so every executor over the same compiled program shares one
+schedule.  Link statistics are optional per run (``link_stats=False``):
+the serving tier only consumes loop trip counts, not per-link histograms.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core import primitives as prim
 from repro.core.graph import DFGraph, DFNode, OPCODES
 from repro.core.memory import MemorySystem
-from repro.core.sltf import Barrier, Data, Stream, Token, count_elements, encode
+from repro.core.sltf import Barrier, Data, Stream, Token, encode
 from repro.errors import GraphError, PrimitiveError
 
 #: Associative reduction operators by name.
@@ -45,8 +60,16 @@ class LinkProfile:
     barriers: int = 0
 
     def record(self, stream: Sequence[Token]) -> None:
-        self.elements += count_elements(stream)
-        self.barriers += sum(1 for t in stream if isinstance(t, Barrier))
+        # One pass computes both counts; tokens are only Data or Barrier.
+        elements = 0
+        barriers = 0
+        for tok in stream:
+            if isinstance(tok, Barrier):
+                barriers += 1
+            else:
+                elements += 1
+        self.elements += elements
+        self.barriers += barriers
 
 
 @dataclass
@@ -88,6 +111,100 @@ def _resolve_reduce(op: Any) -> Callable[[Any, Any], Any]:
     raise GraphError(f"unknown reduction op {op!r}")
 
 
+class NodeSchedule:
+    """A precompiled execution plan for one structured-graph hierarchy.
+
+    Built once per compiled program and shared by every executor over it:
+
+    * the memoized topological order of the root graph and every nested
+      region graph (``steps``),
+    * per-node opcode/reduction resolution for ``compute``, ``reduce`` and
+      reducing ``foreach`` nodes (``fn``), and
+    * the set of ops that appear anywhere in the hierarchy, so an executor
+      can resolve its handler table once instead of per node firing.
+
+    Schedules are immutable snapshots: they record the structural
+    :attr:`~repro.core.graph.DFGraph.version` of every graph in the
+    hierarchy at build time, and :func:`schedule_for` rebuilds
+    automatically when any of them has changed.  In-place *node* mutations
+    (e.g. rewriting ``params['fn']`` on an existing node) are not tracked —
+    graphs are append-only after construction everywhere in this codebase.
+    """
+
+    __slots__ = ("version", "ops", "_steps", "_fns", "_graphs")
+
+    def __init__(self, graph: DFGraph):
+        self.version = graph.version
+        self.ops: set = set()
+        self._steps: Dict[int, List[tuple]] = {}
+        self._fns: Dict[int, Callable[..., Any]] = {}
+        #: Strong references keyed by id(): versions for staleness checks,
+        #: and liveness so a dead graph's id can never alias a new graph.
+        self._graphs: Dict[int, tuple] = {}
+        self._add_graph(graph)
+
+    def stale(self) -> bool:
+        """True when any graph in the hierarchy mutated after scheduling."""
+        return any(graph.version != version
+                   for graph, version in self._graphs.values())
+
+    def _add_graph(self, graph: DFGraph) -> None:
+        self._graphs[id(graph)] = (graph, graph.version)
+        self._steps[id(graph)] = self._prepare(graph)
+        for node in graph.topo_order():
+            self.ops.add(node.op)
+            if node.op == "compute":
+                self._fns[node.uid] = _resolve_fn(node.params["fn"])
+            elif node.op == "reduce":
+                self._fns[node.uid] = _resolve_reduce(node.params["op"])
+            elif node.op == "foreach" and node.params.get("reduce_op") is not None:
+                self._fns[node.uid] = _resolve_reduce(node.params["reduce_op"])
+            for region in node.regions:
+                self._add_graph(region)
+
+    @staticmethod
+    def _prepare(graph: DFGraph) -> List[tuple]:
+        """One ``(node, op, input_uids, outputs)`` step per node in topo
+        order, so the run loop chases no attributes per firing."""
+        return [
+            (node, node.op, [v.uid for v in node.inputs], node.outputs)
+            for node in graph.topo_order()
+        ]
+
+    def steps(self, graph: DFGraph) -> List[tuple]:
+        """Prepared steps for ``graph`` (any graph in the hierarchy)."""
+        steps = self._steps.get(id(graph))
+        if steps is None:
+            # A graph outside the scheduled hierarchy (defensive fallback);
+            # retaining the graph keeps the id() key unambiguous.
+            steps = self._prepare(graph)
+            self._graphs[id(graph)] = (graph, graph.version)
+            self._steps[id(graph)] = steps
+        return steps
+
+    def fn(self, node: DFNode) -> Optional[Callable[..., Any]]:
+        """Pre-resolved opcode / reduction callable for ``node`` (or None)."""
+        return self._fns.get(node.uid)
+
+
+#: One schedule per live graph; entries die with their graph, and stale
+#: schedules (the graph mutated after scheduling) are rebuilt on demand.
+_SCHEDULES: "weakref.WeakKeyDictionary[DFGraph, NodeSchedule]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def schedule_for(graph: DFGraph) -> NodeSchedule:
+    """Return the cached :class:`NodeSchedule` for ``graph``, building it
+    (or rebuilding it after a structural mutation anywhere in the graph's
+    region hierarchy) if needed."""
+    schedule = _SCHEDULES.get(graph)
+    if schedule is None or schedule.stale():
+        schedule = NodeSchedule(graph)
+        _SCHEDULES[graph] = schedule
+    return schedule
+
+
 def zip_streams(*streams: Sequence[Token]) -> Stream:
     """Combine parallel live-value streams into a stream of tuples."""
     if len(streams) == 1:
@@ -121,11 +238,22 @@ class Executor:
         graph: DFGraph,
         memory: Optional[MemorySystem] = None,
         max_loop_iterations: int = 1_000_000,
+        link_stats: bool = True,
+        schedule: Optional[NodeSchedule] = None,
     ):
         self.graph = graph
         self.memory = memory if memory is not None else MemorySystem()
         self.max_loop_iterations = max_loop_iterations
         self.profile = ExecutionProfile()
+        self.collect_link_stats = link_stats
+        self._schedule = schedule if schedule is not None else schedule_for(graph)
+        # Handler table resolved once per executor (bound methods), not once
+        # per node firing; ops outside the schedule resolve lazily.
+        self._handlers: Dict[str, Callable[[DFNode, List[Stream]], List[Stream]]] = {}
+        for op in self._schedule.ops:
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is not None:
+                self._handlers[op] = handler
 
     # -- public API ---------------------------------------------------------
 
@@ -147,18 +275,36 @@ class Executor:
 
     # -- graph / node evaluation ---------------------------------------------
 
+    def _handler(self, op: str) -> Callable[[DFNode, List[Stream]], List[Stream]]:
+        handler = self._handlers.get(op)
+        if handler is None:
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None:
+                raise GraphError(f"no executor handler for op '{op}'")
+            self._handlers[op] = handler
+        return handler
+
     def _run_graph(self, graph: DFGraph, env: Dict[int, Stream]) -> Dict[int, Stream]:
-        for node in graph.topo_order():
-            in_streams = [env[v.uid] for v in node.inputs]
-            out_streams = self._run_node(node, in_streams)
-            if len(out_streams) != len(node.outputs):
+        profile = self.profile
+        firings = profile.node_firings
+        handlers = self._handlers
+        collect_links = self.collect_link_stats
+        for node, op, in_uids, outputs in self._schedule.steps(graph):
+            handler = handlers.get(op)
+            if handler is None:
+                handler = self._handler(op)
+            in_streams = [env[uid] for uid in in_uids]
+            firings[op] = firings.get(op, 0) + 1
+            out_streams = handler(node, in_streams)
+            if len(out_streams) != len(outputs):
                 raise GraphError(
                     f"node {node!r} produced {len(out_streams)} streams, "
-                    f"expected {len(node.outputs)}"
+                    f"expected {len(outputs)}"
                 )
-            for value, stream in zip(node.outputs, out_streams):
+            for value, stream in zip(outputs, out_streams):
                 env[value.uid] = stream
-                self.profile.record_link(value.name, stream)
+                if collect_links:
+                    profile.record_link(value.name, stream)
         return env
 
     def _run_subgraph(self, graph: DFGraph, inputs: Sequence[Stream]) -> List[Stream]:
@@ -167,23 +313,25 @@ class Executor:
                 f"region '{graph.name}' expects {len(graph.inputs)} inputs, "
                 f"got {len(inputs)}"
             )
+        # Streams are immutable by convention (every primitive builds fresh
+        # lists), so region inputs are bound without a defensive copy.
         env: Dict[int, Stream] = {
-            v.uid: list(s) for v, s in zip(graph.inputs, inputs)
+            v.uid: s for v, s in zip(graph.inputs, inputs)
         }
         env = self._run_graph(graph, env)
         return [env[v.uid] for v in graph.outputs]
 
     def _run_node(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
-        handler = getattr(self, f"_op_{node.op}", None)
-        if handler is None:
-            raise GraphError(f"no executor handler for op '{node.op}'")
+        handler = self._handler(node.op)
         self.profile.record_firing(node.op)
         return handler(node, ins)
 
     # -- element-wise and structural ops --------------------------------------
 
     def _op_compute(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
-        fn = _resolve_fn(node.params["fn"])
+        fn = self._schedule.fn(node)
+        if fn is None:
+            fn = _resolve_fn(node.params["fn"])
         return [prim.elementwise(fn, *ins)]
 
     def _op_const(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
@@ -197,7 +345,9 @@ class Executor:
         return [prim.counter(ins[0], ins[1], ins[2])]
 
     def _op_reduce(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
-        op = _resolve_reduce(node.params["op"])
+        op = self._schedule.fn(node)
+        if op is None:
+            op = _resolve_reduce(node.params["op"])
         init = node.params.get("init", 0)
         level = node.params.get("level", 1)
         return [prim.reduce_stream(op, init, ins[0], level=level)]
@@ -207,11 +357,17 @@ class Executor:
 
     def _op_filter(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
         pred = ins[-1]
-        return [prim.filter_stream(data, pred) for data in ins[:-1]]
+        if len(ins) == 2:
+            return [prim.filter_stream(ins[0], pred)]
+        # Thread-exit filters touch every live link with the same predicate;
+        # one shared predicate scan instead of one per link.
+        return prim.filter_streams(ins[:-1], pred)
 
     def _op_forward_merge(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
         width = node.params.get("width", 1)
         a, b = ins[:width], ins[width:]
+        if width == 1:
+            return [prim.forward_merge(a[0], b[0])]
         # Merge the bundles jointly so per-thread live values stay together.
         merged = prim.forward_merge(zip_streams(*a), zip_streams(*b))
         return unzip_stream(merged, width)
@@ -304,37 +460,92 @@ class Executor:
     # -- region ops -------------------------------------------------------------
 
     def _op_while(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
+        """Forward-backward loop over parallel live-value streams.
+
+        Semantically this is :func:`repro.core.primitives.forward_backward_loop`
+        over the zipped live bundle (paper Figure 4), but executed directly
+        on the parallel streams: no per-token tuple zip/unzip per iteration,
+        and one shared predicate scan partitions every live link at once.
+        Iteration counts recorded in the profile are identical to the
+        zipped formulation (one ``record_loop`` per loop turn, including
+        the turn that discovers an empty group).
+        """
         cond_region, body_region = node.regions
         width = len(ins)
         label = node.params.get("label", f"while#{node.uid}")
-        zipped = zip_streams(*ins)
+        record_loop = self.profile.record_loop
+        max_iterations = self.max_loop_iterations
 
-        def loop_body(live: Stream) -> Tuple[Stream, Stream]:
-            self.profile.record_loop(label, 1)
-            live_streams = unzip_stream(live, width)
-            cond = self._run_subgraph(cond_region, live_streams)[0]
-            not_cond = prim.map_stream(lambda p: not p, cond)
-            continuing = [prim.filter_stream(s, cond) for s in live_streams]
-            exiting = [prim.filter_stream(s, not_cond) for s in live_streams]
-            next_live = self._run_subgraph(body_region, continuing)
-            return zip_streams(*next_live), zip_streams(*exiting)
+        first = ins[0]
+        length = len(first)
+        for other in ins[1:]:
+            if len(other) != length:
+                raise PrimitiveError(
+                    "while live streams have different lengths")
 
-        result = prim.forward_backward_loop(
-            zipped, loop_body, max_iterations=self.max_loop_iterations
-        )
-        return unzip_stream(result, width)
+        outs: List[Stream] = [[] for _ in range(width)]
+        groups: List[List[Token]] = [[] for _ in range(width)]
+        for j in range(length):
+            tok = first[j]
+            if isinstance(tok, Data):
+                for i in range(width):
+                    t = ins[i][j]
+                    if not isinstance(t, Data):
+                        raise PrimitiveError(
+                            f"while live streams misaligned at {t!r}")
+                    groups[i].append(t)
+                continue
+            for i in range(1, width):
+                t = ins[i][j]
+                if not isinstance(t, Barrier) or t.level != tok.level:
+                    raise PrimitiveError(
+                        f"while live streams have mismatched barriers at {t!r}")
+            # A barrier terminates the group: iterate its threads until the
+            # recirculating set is empty, then emit the exited threads.
+            live = [g + [Barrier(1)] for g in groups]
+            groups = [[] for _ in range(width)]
+            iterations = 0
+            while True:
+                record_loop(label, 1)
+                cond = self._run_subgraph(cond_region, live)[0]
+                continuing, exiting = prim.partition_streams(live, cond)
+                for i in range(width):
+                    outs[i].extend(
+                        t for t in exiting[i] if isinstance(t, Data))
+                next_live = self._run_subgraph(body_region, continuing)
+                recirc = [t for t in next_live[0] if isinstance(t, Data)]
+                if not recirc:
+                    break
+                live = [recirc] + [
+                    [t for t in s if isinstance(t, Data)]
+                    for s in next_live[1:]
+                ]
+                for s in live:
+                    s.append(Barrier(1))
+                iterations += 1
+                if iterations > max_iterations:
+                    raise PrimitiveError(
+                        "forward-backward loop exceeded max_iterations; "
+                        "possible livelock in loop body"
+                    )
+            for i in range(width):
+                outs[i].append(Barrier(tok.level))
+        if any(groups):
+            raise PrimitiveError(
+                "forward-backward loop input missing final barrier")
+        return outs
 
     def _op_if(self, node: DFNode, ins: List[Stream]) -> List[Stream]:
         cond, live = ins[0], ins[1:]
         then_region, else_region = node.regions
-        not_cond = prim.map_stream(lambda p: not p, cond)
-        taken = [prim.filter_stream(s, cond) for s in live]
-        fallthrough = [prim.filter_stream(s, not_cond) for s in live]
+        taken, fallthrough = prim.partition_streams(live, cond)
         then_out = self._run_subgraph(then_region, taken)
         else_out = self._run_subgraph(else_region, fallthrough)
         width = len(node.outputs)
         if width == 0:
             return []
+        if width == 1:
+            return [prim.forward_merge(then_out[0], else_out[0])]
         merged = prim.forward_merge(zip_streams(*then_out), zip_streams(*else_out))
         return unzip_stream(merged, width)
 
@@ -347,7 +558,9 @@ class Executor:
         results = self._run_subgraph(body, body_inputs)
         reduce_op = node.params.get("reduce_op")
         if reduce_op is not None:
-            op = _resolve_reduce(reduce_op)
+            op = self._schedule.fn(node)
+            if op is None:
+                op = _resolve_reduce(reduce_op)
             init = node.params.get("reduce_init", 0)
             return [prim.reduce_stream(op, init, r, level=1) for r in results]
         return [prim.flatten_stream(r, levels=1) for r in results]

@@ -167,6 +167,21 @@ class DFGraph:
         self.inputs: List[DFValue] = []
         self.outputs: List[DFValue] = []
         self._names: Set[str] = set()
+        #: Bumped on every structural mutation; memoized derived state (the
+        #: topo order here, node schedules in the executor) is keyed on it.
+        self._version = 0
+        self._topo_cache: Optional[List[DFNode]] = None
+        self._topo_version = -1
+
+    @property
+    def version(self) -> int:
+        """Monotonic structural version (graphs unpickled from old caches
+        may predate the counter, hence the ``getattr`` default)."""
+        return getattr(self, "_version", 0)
+
+    def _mutated(self) -> None:
+        self._version = self.version + 1
+        self._topo_cache = None
 
     # -- construction -----------------------------------------------------
 
@@ -185,6 +200,7 @@ class DFGraph:
         """Declare a graph input stream."""
         value = DFValue(self._fresh_name(name), kind=kind)
         self.inputs.append(value)
+        self._mutated()
         return value
 
     def add_node(
@@ -208,11 +224,13 @@ class DFGraph:
                             kind=kind, producer=node, index=i)
             node.outputs.append(value)
         self.nodes.append(node)
+        self._mutated()
         return node
 
     def set_outputs(self, values: Sequence[DFValue]) -> None:
         """Declare the graph's output streams."""
         self.outputs = list(values)
+        self._mutated()
 
     # -- queries ----------------------------------------------------------
 
@@ -236,7 +254,20 @@ class DFGraph:
 
         Structured graphs are DAGs at each level — cyclic control flow lives
         inside ``while`` region nodes, not in back-edges at this level.
+
+        The order is memoized per structural :attr:`version`: region bodies
+        are re-executed once per loop iteration, so the serving hot path
+        would otherwise re-derive the same order thousands of times.
         """
+        cached = getattr(self, "_topo_cache", None)
+        if cached is not None and self._topo_version == self.version:
+            return cached
+        order = self._topo_order_uncached()
+        self._topo_cache = order
+        self._topo_version = self.version
+        return order
+
+    def _topo_order_uncached(self) -> List[DFNode]:
         defined: Set[int] = {v.uid for v in self.inputs}
         remaining = list(self.nodes)
         order: List[DFNode] = []

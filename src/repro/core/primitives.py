@@ -43,35 +43,61 @@ def elementwise(fn: Callable[..., Any], *streams: Sequence[Token]) -> Stream:
     All input streams must carry the same thread structure (same data count
     and identical barrier placement); this is what "parallel tensors carrying
     the live variables of the same threads" means in the paper.
+
+    This is the hottest primitive on the serving path (every ``compute``
+    node firing lands here), so the common unary and binary arities take
+    single-pass specializations instead of the general token-tuple loop.
     """
     if not streams:
         raise PrimitiveError("elementwise requires at least one input stream")
-    iters = [iter(s) for s in streams]
-    out: Stream = []
-    while True:
-        toks = []
-        exhausted = 0
-        for it in iters:
-            try:
-                toks.append(next(it))
-            except StopIteration:
-                exhausted += 1
-                toks.append(None)
-        if exhausted == len(iters):
-            break
-        if exhausted:
+    if len(streams) == 1:
+        # Unary: no alignment to check; barriers pass through unchanged.
+        return [Data(fn(t.value)) if isinstance(t, Data) else t
+                for t in streams[0]]
+    first = streams[0]
+    length = len(first)
+    for other in streams[1:]:
+        if len(other) != length:
             raise PrimitiveError("element-wise inputs have different lengths")
-        if all(isinstance(t, Barrier) for t in toks):
-            levels = {t.level for t in toks}
-            if len(levels) != 1:
-                raise PrimitiveError(
-                    f"element-wise inputs have mismatched barrier levels: {toks}"
-                )
-            out.append(Barrier(toks[0].level))
-        elif all(isinstance(t, Data) for t in toks):
-            out.append(Data(fn(*(t.value for t in toks))))
+    out: Stream = []
+    append = out.append
+    if len(streams) == 2:
+        for ta, tb in zip(first, streams[1]):
+            if isinstance(ta, Data):
+                if not isinstance(tb, Data):
+                    raise PrimitiveError(
+                        f"element-wise inputs misaligned at {[ta, tb]}")
+                append(Data(fn(ta.value, tb.value)))
+            else:
+                if not isinstance(tb, Barrier):
+                    raise PrimitiveError(
+                        f"element-wise inputs misaligned at {[ta, tb]}")
+                if ta.level != tb.level:
+                    raise PrimitiveError(
+                        "element-wise inputs have mismatched barrier levels: "
+                        f"{[ta, tb]}")
+                append(ta)
+        return out
+    for toks in zip(*streams):
+        if isinstance(toks[0], Data):
+            values = []
+            for t in toks:
+                if not isinstance(t, Data):
+                    raise PrimitiveError(
+                        f"element-wise inputs misaligned at {list(toks)}")
+                values.append(t.value)
+            append(Data(fn(*values)))
         else:
-            raise PrimitiveError(f"element-wise inputs misaligned at {toks}")
+            level = toks[0].level
+            for t in toks[1:]:
+                if not isinstance(t, Barrier):
+                    raise PrimitiveError(
+                        f"element-wise inputs misaligned at {list(toks)}")
+                if t.level != level:
+                    raise PrimitiveError(
+                        "element-wise inputs have mismatched barrier levels: "
+                        f"{list(toks)}")
+            append(toks[0])
     return out
 
 
@@ -230,19 +256,20 @@ def fork_stream(counts: Sequence[Token], payload: Sequence[Token]) -> Stream:
 
 def filter_stream(data: Sequence[Token], predicate: Sequence[Token]) -> Stream:
     """Keep only the elements whose predicate is truthy; pass barriers through."""
+    if len(data) != len(predicate):
+        raise PrimitiveError("filter data and predicate have different lengths")
     out: Stream = []
+    append = out.append
     for tok, keep in zip(data, predicate):
         if isinstance(tok, Barrier):
             if not isinstance(keep, Barrier) or keep.level != tok.level:
                 raise PrimitiveError("filter predicate misaligned with data")
-            out.append(tok)
+            append(tok)
         else:
             if isinstance(keep, Barrier):
                 raise PrimitiveError("filter predicate misaligned with data")
             if keep.value:
-                out.append(tok)
-    if len(data) != len(predicate):
-        raise PrimitiveError("filter data and predicate have different lengths")
+                append(tok)
     return out
 
 
@@ -256,6 +283,75 @@ def partition_stream(
     """
     negated = map_stream(lambda p: not p, predicate)
     return filter_stream(data, predicate), filter_stream(data, negated)
+
+
+def filter_streams(
+    streams: Sequence[Sequence[Token]], predicate: Sequence[Token]
+) -> List[Stream]:
+    """Filter parallel streams by one predicate with a single predicate scan.
+
+    Equivalent to ``[filter_stream(s, predicate) for s in streams]`` for
+    *aligned* inputs (same length, barriers in the same positions): the
+    predicate is scanned once for surviving positions, then each stream is
+    gathered by index.  Alignment of data positions is a precondition, not
+    re-validated per stream — this is the executor's bundle fast path, where
+    streams are aligned by construction.
+    """
+    length = len(predicate)
+    positions: List[int] = []
+    barrier_positions: List[int] = []
+    for j, tok in enumerate(predicate):
+        if isinstance(tok, Barrier):
+            positions.append(j)
+            barrier_positions.append(j)
+        elif tok.value:
+            positions.append(j)
+    outs: List[Stream] = []
+    for s in streams:
+        if len(s) != length:
+            raise PrimitiveError("filter data and predicate have different lengths")
+        for j in barrier_positions:
+            tok = s[j]
+            if not isinstance(tok, Barrier) or tok.level != predicate[j].level:
+                raise PrimitiveError("filter predicate misaligned with data")
+        outs.append([s[j] for j in positions])
+    return outs
+
+
+def partition_streams(
+    streams: Sequence[Sequence[Token]], predicate: Sequence[Token]
+) -> Tuple[List[Stream], List[Stream]]:
+    """Split parallel aligned streams into (kept, dropped) bundles.
+
+    One predicate scan decides every stream's kept/dropped positions;
+    barriers appear in both outputs (each branch of an ``if`` sees the same
+    control structure).  Same alignment precondition as
+    :func:`filter_streams`.
+    """
+    length = len(predicate)
+    kept_positions: List[int] = []
+    dropped_positions: List[int] = []
+    barrier_positions: List[int] = []
+    for j, tok in enumerate(predicate):
+        if isinstance(tok, Barrier):
+            kept_positions.append(j)
+            dropped_positions.append(j)
+            barrier_positions.append(j)
+        elif tok.value:
+            kept_positions.append(j)
+        else:
+            dropped_positions.append(j)
+    for s in streams:
+        if len(s) != length:
+            raise PrimitiveError(
+                "partition data and predicate have different lengths")
+        for j in barrier_positions:
+            tok = s[j]
+            if not isinstance(tok, Barrier) or tok.level != predicate[j].level:
+                raise PrimitiveError("filter predicate misaligned with data")
+    kept = [[s[j] for j in kept_positions] for s in streams]
+    dropped = [[s[j] for j in dropped_positions] for s in streams]
+    return kept, dropped
 
 
 def forward_merge(a: Sequence[Token], b: Sequence[Token]) -> Stream:
@@ -331,7 +427,8 @@ def forward_backward_loop(
             group.append(tok)
             continue
         # A barrier terminates the current group: iterate it to completion.
-        live: Stream = [Data(t.value) for t in group] + [Barrier(1)]
+        # Data tokens are immutable, so the group is reused as-is.
+        live: Stream = group + [Barrier(1)]
         group = []
         exited_all: Stream = []
         iterations = 0

@@ -89,13 +89,20 @@ class CompiledProgram:
     dram_names: List[str]
     pragmas: List[str] = field(default_factory=list)
 
-    def run(self, memory: MemorySystem, *, profile: bool = False, **args: int):
+    def run(self, memory: MemorySystem, *, profile: bool = False,
+            link_stats: bool = True, **args: int):
         """Execute the program on ``memory`` with scalar arguments ``args``.
 
         DRAM globals must already be allocated in ``memory`` under their
         declared names; their base addresses are wired into the graph inputs
         automatically.  Returns the executor (so callers can inspect the
         profile) when ``profile`` is True, otherwise the output streams.
+
+        ``link_stats=False`` skips the per-link element/barrier histograms
+        (node firings and loop trip counts are still collected) — the
+        serving fast path, which only consumes trip counts.  The node
+        schedule itself is precompiled once per program and shared by every
+        run (see :func:`repro.core.executor.schedule_for`).
         """
         inputs: Dict[str, Any] = {}
         for name in self.arg_names:
@@ -104,7 +111,7 @@ class CompiledProgram:
             inputs[name] = [args[name]]
         for name in self.dram_names:
             inputs[f"__dram_{name}"] = [memory.segment(name).base]
-        executor = Executor(self.graph, memory=memory)
+        executor = Executor(self.graph, memory=memory, link_stats=link_stats)
         outputs = executor.run(inputs)
         return executor if profile else outputs
 

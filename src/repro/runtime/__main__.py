@@ -67,6 +67,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--pool-mode", type=str, default="inline",
                         choices=POOL_MODES,
                         help="pool execution mode (default inline)")
+    parser.add_argument("--intra-batch-workers", type=int, default=1,
+                        help="threads executing one batch's entries "
+                             "concurrently after its shared compile "
+                             "(default 1 = sequential; responses are "
+                             "bit-identical at any setting)")
+    parser.add_argument("--rate-dispatch", action="store_true",
+                        help="dispatch pool batches on measured per-worker "
+                             "service rates (EWMA of flush wall-clock) "
+                             "instead of assuming unit worker scales")
     return parser
 
 
@@ -79,6 +88,8 @@ def _run_pooled(args: argparse.Namespace, requests: List) -> int:
         cache_capacity=args.cache_capacity,
         result_cache_capacity=0 if args.no_result_cache else 512,
         max_batch_size=args.max_batch,
+        intra_batch_workers=args.intra_batch_workers,
+        rate_dispatch=args.rate_dispatch,
         disk_cache_dir=args.disk_cache,
     )
     with pool:
@@ -92,7 +103,9 @@ def _run_pooled(args: argparse.Namespace, requests: List) -> int:
     result = report.aggregate_result_stats()
     print(f"trace           : {len(requests)} requests, "
           f"pool={args.pool_workers}x{args.pool_mode}, "
-          f"policy={report.policy}")
+          f"policy={report.policy}, "
+          f"intra-batch={args.intra_batch_workers}, "
+          f"rate-dispatch={'on' if args.rate_dispatch else 'off'}")
     print(f"served          : {served} ok, {len(responses) - served} errors, "
           f"{wrong} incorrect results")
     print(f"wall time       : {elapsed:.3f} s  "
@@ -109,6 +122,8 @@ def _run_pooled(args: argparse.Namespace, requests: List) -> int:
         "requests": s.requests,
         "prog_hit_%": round(100 * s.program_cache.hit_rate, 1),
         "resident": len(s.resident_keys),
+        "busy_s": round(s.busy_s, 3),
+        "rate_rps": round(s.service_rate_rps, 1),
     } for s in report.workers]
     print(format_rows(rows))
     return 0
@@ -141,6 +156,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                    disk_dir=args.disk_cache),
         max_batch_size=args.max_batch,
         result_cache_capacity=0 if args.no_result_cache else 512,
+        intra_batch_workers=args.intra_batch_workers,
     )
     scheduler = ShardScheduler(workers=args.workers, policy=args.policy)
 
@@ -155,7 +171,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     result_stats = engine.result_cache_stats
 
     print(f"trace           : {len(requests)} requests over {len(apps)} apps "
-          f"({', '.join(apps)})")
+          f"({', '.join(apps)}), "
+          f"intra-batch={args.intra_batch_workers}")
     print(f"served          : {served} ok, {len(responses) - served} errors, "
           f"{wrong} incorrect results")
     print(f"wall time       : {elapsed:.3f} s  "

@@ -132,7 +132,10 @@ class FunctionalVRDABackend(Backend):
         if ctx.instance is None:
             raise BackendError("vrda backend needs a problem instance")
         instance = ctx.instance
-        executor = ctx.program.run(instance.memory, profile=True, **ctx.args)
+        # The serving path only consumes loop trip counts from the profile;
+        # per-link histograms are skipped (the executor's cold fast path).
+        executor = ctx.program.run(instance.memory, profile=True,
+                                   link_stats=False, **ctx.args)
 
         outputs: Optional[List[int]] = None
         correct: Optional[bool] = None

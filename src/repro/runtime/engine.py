@@ -21,6 +21,7 @@ re-executing, which is what makes a warm serving tier fast.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -172,12 +173,14 @@ class Engine:
                  machine: MachineConfig = DEFAULT_MACHINE,
                  max_batch_size: int = 16,
                  result_cache_capacity: int = 512,
-                 init_latency_s: float = 1e-4):
+                 init_latency_s: float = 1e-4,
+                 intra_batch_workers: int = 1):
         self.program_cache = (program_cache if program_cache is not None
                               else ProgramCache())
         self.backends = (backends if backends is not None
                          else BackendRegistry(machine, init_latency_s))
         self.max_batch_size = max(1, max_batch_size)
+        self.intra_batch_workers = max(1, intra_batch_workers)
         self.result_cache = LRUCache(result_cache_capacity)
         self._queue: List[Tuple[int, Request]] = []
         self._failed: List[Response] = []
@@ -264,6 +267,22 @@ class Engine:
 
         Public because pool workers execute batches formed by a remote
         dispatcher; responses come back in batch-entry order.
+
+        With ``intra_batch_workers > 1`` the entries that actually need
+        execution run concurrently on a bounded thread pool.  Responses and
+        cache behaviour stay deterministic regardless of the worker count:
+
+        1. an *admission scan* in entry order decides each entry's fate —
+           replay a result-cache hit, execute a miss, or defer a duplicate
+           of an earlier miss in the same batch (sequential execution would
+           have served it from the cache),
+        2. the misses execute — generated-instance requests concurrently
+           (state is private: each has its own instance, memory image, and
+           executor; the compiled program is shared read-only), requests
+           with client-staged memory serially (entries may share one
+           mutable ``MemorySystem``), and
+        3. an *accounting scan* in entry order does every cache write and
+           counter update, and replays the deferred duplicates.
         """
         backend = self.backends.get(batch.backend)
         program = None
@@ -279,29 +298,96 @@ class Engine:
                 return [self._error_response(request_id, request, batch,
                                              f"compile failed: {error}")
                         for request_id, request in batch.entries]
-        responses = []
-        for request_id, request in batch.entries:
-            responses.append(self._serve_one(request_id, request, batch,
-                                             program, program_hit))
-        return responses
-
-    def _serve_one(self, request_id: int, request: Request, batch: Batch,
-                   program, program_hit: Optional[bool]) -> Response:
-        fingerprint = self._result_fingerprint(request, batch)
-        if fingerprint is not None:
-            cached = self.result_cache.get(fingerprint)
-            if cached is not None:
+        entries = batch.entries
+        # Phase 1: admission scan (sequential, entry order).
+        plans: List[Tuple[str, Any]] = []
+        pending: set = set()
+        run_positions: List[int] = []
+        for position, (request_id, request) in enumerate(entries):
+            fingerprint = self._result_fingerprint(request, batch)
+            if fingerprint is not None:
+                if fingerprint in pending:
+                    plans.append(("await", fingerprint))
+                    continue
+                cached = self.result_cache.get(fingerprint)
+                if cached is not None:
+                    plans.append(("replay", self._replay(
+                        cached, request_id, request, batch, program_hit)))
+                    continue
+                pending.add(fingerprint)
+            plans.append(("run", fingerprint))
+            run_positions.append(position)
+        # Phase 2: execute the misses (concurrently when configured).
+        # Requests with staged memory images may share one mutable
+        # MemorySystem between entries, so only engine-generated instances
+        # (private memory per request) are eligible for the thread pool.
+        executed: Dict[int, Response] = {}
+        fanned = [p for p in run_positions if entries[p][1].memory is None]
+        serial = [p for p in run_positions if entries[p][1].memory is not None]
+        fan_out = min(self.intra_batch_workers, len(fanned))
+        if fan_out > 1:
+            with ThreadPoolExecutor(max_workers=fan_out) as pool:
+                futures = {
+                    position: pool.submit(
+                        self._execute_request, entries[position][0],
+                        entries[position][1], batch, program, program_hit)
+                    for position in fanned
+                }
+                for position, future in futures.items():
+                    executed[position] = future.result()
+        else:
+            serial = run_positions
+        for position in serial:
+            request_id, request = entries[position]
+            executed[position] = self._execute_request(
+                request_id, request, batch, program, program_hit)
+        # Phase 3: accounting scan (sequential, entry order).
+        responses: List[Response] = []
+        for position, (kind, fingerprint) in enumerate(plans):
+            request_id, request = entries[position]
+            if kind == "replay":
+                responses.append(fingerprint)  # the pre-built replay Response
+                continue
+            if kind == "await":
+                cached = self.result_cache.get(fingerprint)
+                if cached is not None:
+                    responses.append(self._replay(
+                        cached, request_id, request, batch, program_hit))
+                    continue
+                # The first occurrence failed and cached nothing; serve this
+                # duplicate for real (what sequential execution would do).
+                executed[position] = self._execute_request(
+                    request_id, request, batch, program, program_hit)
+            response = executed[position]
+            if response.error is None:
                 self.backend_counts[request.backend] = (
                     self.backend_counts.get(request.backend, 0) + 1)
-                # Fresh Response, outputs list, and report: replayed hits must
-                # not share mutable state with what earlier clients received.
-                return replace(cached, request_id=request_id,
-                               batch_id=batch.batch_id, result_cache_hit=True,
-                               program_cache_hit=program_hit,
-                               outputs=(list(cached.outputs)
-                                        if cached.outputs is not None else None),
-                               report=(replace(cached.report)
-                                       if cached.report is not None else None))
+                if fingerprint is not None:
+                    self.result_cache.put(fingerprint, replace(
+                        response,
+                        outputs=(list(response.outputs)
+                                 if response.outputs is not None else None),
+                        report=(replace(response.report)
+                                if response.report is not None else None)))
+            responses.append(response)
+        return responses
+
+    def _replay(self, cached: Response, request_id: int, request: Request,
+                batch: Batch, program_hit: Optional[bool]) -> Response:
+        """A result-cache hit as a fresh Response (no shared mutable state)."""
+        self.backend_counts[request.backend] = (
+            self.backend_counts.get(request.backend, 0) + 1)
+        return replace(cached, request_id=request_id,
+                       batch_id=batch.batch_id, result_cache_hit=True,
+                       program_cache_hit=program_hit,
+                       outputs=(list(cached.outputs)
+                                if cached.outputs is not None else None),
+                       report=(replace(cached.report)
+                               if cached.report is not None else None))
+
+    def _execute_request(self, request_id: int, request: Request, batch: Batch,
+                         program, program_hit: Optional[bool]) -> Response:
+        """Run one request on its backend; thread-safe (no engine state)."""
         try:
             spec, _ = request.resolve()
             instance = self._instance_for(request, spec)
@@ -316,9 +402,7 @@ class Engine:
             result = self.backends.get(request.backend).execute(ctx)
         except ReproError as error:
             return self._error_response(request_id, request, batch, str(error))
-        self.backend_counts[request.backend] = (
-            self.backend_counts.get(request.backend, 0) + 1)
-        response = Response(
+        return Response(
             request_id=request_id,
             app=request.app,
             backend=request.backend,
@@ -332,14 +416,6 @@ class Engine:
             result_cache_hit=False,
             batch_id=batch.batch_id,
         )
-        if fingerprint is not None:
-            self.result_cache.put(fingerprint, replace(
-                response,
-                outputs=list(response.outputs) if response.outputs is not None
-                else None,
-                report=replace(response.report) if response.report is not None
-                else None))
-        return response
 
     def _instance_for(self, request: Request,
                       spec: Optional[AppSpec]) -> Optional[AppInstance]:
@@ -387,4 +463,5 @@ class Engine:
             "program_cache": self.program_cache_stats.as_dict(),
             "result_cache": self.result_cache_stats.as_dict(),
             "backend_counts": dict(self.backend_counts),
+            "intra_batch_workers": self.intra_batch_workers,
         }

@@ -29,7 +29,8 @@ program resident".
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -37,7 +38,13 @@ from repro.errors import ReproError
 from repro.runtime.cache import CacheStats, ProgramCache
 from repro.runtime.engine import Batch, Engine, Request, Response
 from repro.runtime.scheduler import ScheduleReport, ShardScheduler
-from repro.sim.policies import AdmissionPolicy, CacheAffinityPolicy, make_policy
+from repro.sim.policies import (
+    AdmissionPolicy,
+    CacheAffinityPolicy,
+    ServiceRateEstimator,
+    make_policy,
+    scales_from_rates,
+)
 
 POOL_MODES = ("inline", "process")
 
@@ -54,9 +61,14 @@ class WorkerConfig:
     result_cache_capacity: int = 512
     max_batch_size: int = 16
     init_latency_s: float = 1e-4
+    #: Concurrent execution *inside* one batch (the engine's thread fan-out).
+    intra_batch_workers: int = 1
     #: Root of the on-disk program-cache tier; each worker pickles into its
     #: own subdirectory so concurrent processes never race on one file.
     disk_cache_dir: Optional[str] = None
+    #: Artificial per-request service delay (seconds); a test/benchmark knob
+    #: for skewed-worker experiments, never set in production configs.
+    service_delay_s: float = 0.0
 
     def build_engine(self, index: int = 0) -> Engine:
         disk_dir = (
@@ -71,6 +83,7 @@ class WorkerConfig:
             result_cache_capacity=self.result_cache_capacity,
             max_batch_size=self.max_batch_size,
             init_latency_s=self.init_latency_s,
+            intra_batch_workers=self.intra_batch_workers,
         )
 
 
@@ -84,6 +97,10 @@ class WorkerSnapshot:
     program_cache: CacheStats
     result_cache: CacheStats
     resident_keys: List[str] = field(default_factory=list)
+    #: Cumulative wall-clock seconds this worker spent executing batches.
+    busy_s: float = 0.0
+    #: EWMA of measured requests/second across flushes (0.0 = unmeasured).
+    service_rate_rps: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -93,6 +110,8 @@ class WorkerSnapshot:
             "program_cache": self.program_cache.to_dict(),
             "result_cache": self.result_cache.to_dict(),
             "resident_programs": len(self.resident_keys),
+            "busy_s": round(self.busy_s, 6),
+            "service_rate_rps": round(self.service_rate_rps, 2),
         }
 
 
@@ -112,22 +131,36 @@ def _crash_responses(batch: Batch, error: Exception) -> List[Response]:
 
 
 def _run_batches(
-    engine: Engine, batches: Sequence[Batch]
-) -> Tuple[List[Response], int]:
-    """Execute a worker's batch list; unexpected errors become responses."""
+    engine: Engine, batches: Sequence[Batch], service_delay_s: float = 0.0
+) -> Tuple[List[Response], int, float]:
+    """Execute a worker's batch list, timing its wall clock.
+
+    Unexpected errors become responses; returns ``(responses, served,
+    elapsed_s)`` so the caller can fold the measurement into its service-rate
+    estimate.  ``service_delay_s`` sleeps per served request — the
+    skewed-worker knob, charged inside the measured window on purpose.
+    """
     responses: List[Response] = []
     served = 0
+    started = time.perf_counter()
     for batch in batches:
         served += len(batch)
         try:
             responses.extend(engine.execute_batch(batch))
         except Exception as error:  # noqa: BLE001 - a worker must not die
             responses.extend(_crash_responses(batch, error))
-    return responses, served
+        if service_delay_s > 0.0:
+            time.sleep(service_delay_s * len(batch))
+    return responses, served, time.perf_counter() - started
 
 
 def _snapshot(
-    index: int, engine: Engine, batches: int, requests: int
+    index: int,
+    engine: Engine,
+    batches: int,
+    requests: int,
+    busy_s: float = 0.0,
+    service_rate_rps: float = 0.0,
 ) -> WorkerSnapshot:
     return WorkerSnapshot(
         index=index,
@@ -136,6 +169,8 @@ def _snapshot(
         program_cache=engine.program_cache_stats.snapshot(),
         result_cache=engine.result_cache_stats.snapshot(),
         resident_keys=engine.program_cache.resident_keys(),
+        busy_s=busy_s,
+        service_rate_rps=service_rate_rps,
     )
 
 
@@ -144,6 +179,8 @@ def _process_worker_main(connection, index: int, config: WorkerConfig) -> None:
     engine = config.build_engine(index)
     batches_done = 0
     requests_done = 0
+    busy_s = 0.0
+    estimator = ServiceRateEstimator()
     while True:
         try:
             message = connection.recv()
@@ -152,12 +189,17 @@ def _process_worker_main(connection, index: int, config: WorkerConfig) -> None:
         if message[0] == "stop":
             break
         batches = message[1]
-        responses, served = _run_batches(engine, batches)
+        responses, served, elapsed = _run_batches(
+            engine, batches, config.service_delay_s
+        )
         batches_done += len(batches)
         requests_done += served
-        connection.send(
-            (responses, _snapshot(index, engine, batches_done, requests_done))
+        busy_s += elapsed
+        estimator.observe(served, elapsed)
+        snapshot = _snapshot(
+            index, engine, batches_done, requests_done, busy_s, estimator.rate
         )
+        connection.send((responses, snapshot))
     connection.close()
 
 
@@ -166,19 +208,31 @@ class _InlineWorker:
 
     def __init__(self, index: int, config: WorkerConfig):
         self.index = index
+        self.config = config
         self.engine = config.build_engine(index)
         self._batches = 0
         self._requests = 0
+        self._busy_s = 0.0
+        self._estimator = ServiceRateEstimator()
         self._pending: Optional[Tuple[List[Response], WorkerSnapshot]] = None
 
     def submit(self, batches: Sequence[Batch]) -> None:
-        responses, served = _run_batches(self.engine, batches)
+        responses, served, elapsed = _run_batches(
+            self.engine, batches, self.config.service_delay_s
+        )
         self._batches += len(batches)
         self._requests += served
-        self._pending = (
-            responses,
-            _snapshot(self.index, self.engine, self._batches, self._requests),
+        self._busy_s += elapsed
+        self._estimator.observe(served, elapsed)
+        snapshot = _snapshot(
+            self.index,
+            self.engine,
+            self._batches,
+            self._requests,
+            self._busy_s,
+            self._estimator.rate,
         )
+        self._pending = (responses, snapshot)
 
     def collect(self) -> Tuple[List[Response], WorkerSnapshot]:
         assert self._pending is not None, "collect() before submit()"
@@ -285,6 +339,9 @@ class WorkerPool:
         max_batch_size: int = 16,
         buffers_per_worker: int = 8,
         init_latency_s: float = 1e-4,
+        intra_batch_workers: int = 1,
+        rate_dispatch: bool = False,
+        service_delays: Optional[Sequence[float]] = None,
         disk_cache_dir: Optional[str] = None,
         mp_context: str = "spawn",
     ):
@@ -292,15 +349,29 @@ class WorkerPool:
             raise PoolError("need at least one pool worker")
         if mode not in POOL_MODES:
             raise PoolError(f"unknown pool mode '{mode}'; choose from {POOL_MODES}")
+        if service_delays is not None and len(service_delays) != workers:
+            raise PoolError("service_delays must have one entry per worker")
         self.workers = workers
         self.mode = mode
+        #: Dispatch on measured per-worker service rates: before each flush
+        #: the workers' EWMA rates (from their snapshots) are converted to
+        #: relative scales and installed in the shard scheduler.
+        self.rate_dispatch = rate_dispatch
         self.config = WorkerConfig(
             cache_capacity=cache_capacity,
             result_cache_capacity=result_cache_capacity,
             max_batch_size=max_batch_size,
             init_latency_s=init_latency_s,
+            intra_batch_workers=intra_batch_workers,
             disk_cache_dir=disk_cache_dir,
         )
+        if service_delays is None:
+            self._worker_configs = [self.config] * workers
+        else:
+            self._worker_configs = [
+                replace(self.config, service_delay_s=delay)
+                for delay in service_delays
+            ]
         self._policy = (
             CacheAffinityPolicy(cache_capacity=cache_capacity)
             if policy == "cache-affinity"
@@ -321,10 +392,13 @@ class WorkerPool:
         if mode == "process":
             context = multiprocessing.get_context(mp_context)
             self._workers = [
-                _ProcessWorker(i, self.config, context) for i in range(workers)
+                _ProcessWorker(i, self._worker_configs[i], context)
+                for i in range(workers)
             ]
         else:
-            self._workers = [_InlineWorker(i, self.config) for i in range(workers)]
+            self._workers = [
+                _InlineWorker(i, self._worker_configs[i]) for i in range(workers)
+            ]
         self._residency: Optional[List[List[str]]] = None
         # Idle workers are skipped per flush; their last snapshot (initially
         # an empty one) still describes their caches exactly.
@@ -375,6 +449,9 @@ class WorkerPool:
         failed = self._front.drain_failed()
         if isinstance(self._policy, CacheAffinityPolicy) and self._residency:
             self._policy.seed(self._residency)
+        if self.rate_dispatch:
+            rates = [s.service_rate_rps for s in self.last_snapshots]
+            self._scheduler.set_worker_scales(scales_from_rates(rates))
         schedule = self._scheduler.dispatch(
             [float(len(batch)) for batch in batches],
             keys=[batch.program_key for batch in batches],
@@ -417,6 +494,9 @@ class WorkerPool:
         return {
             "mode": self.mode,
             "policy": getattr(self._policy, "name", str(self._policy)),
+            "intra_batch_workers": self.config.intra_batch_workers,
+            "rate_dispatch": self.rate_dispatch,
+            "worker_scales": [round(s, 4) for s in self._scheduler.worker_scales],
             "workers": [s.to_dict() for s in self.last_snapshots],
             "program_cache": CacheStats.merged(
                 s.program_cache for s in self.last_snapshots

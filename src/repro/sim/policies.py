@@ -221,6 +221,49 @@ class CacheAffinityPolicy(AdmissionPolicy):
             cache.popitem(last=False)
 
 
+@dataclass
+class ServiceRateEstimator:
+    """EWMA estimate of one worker's measured service rate (tasks/second).
+
+    Real pools never have uniform per-node service rates (the RISC-V HPC
+    cluster evaluations make the same observation one level down), so each
+    serving worker times its own flushes and folds ``tasks / elapsed``
+    samples into an exponentially-weighted moving average.  ``rate == 0``
+    means "not measured yet"; :func:`scales_from_rates` maps that to the
+    unit scale.
+    """
+
+    alpha: float = 0.5
+    rate: float = 0.0
+
+    def observe(self, tasks: int, elapsed_s: float) -> float:
+        """Fold one flush measurement into the EWMA; returns the new rate."""
+        if tasks <= 0 or elapsed_s <= 0.0:
+            return self.rate
+        sample = tasks / elapsed_s
+        if self.rate <= 0.0:
+            self.rate = sample
+        else:
+            self.rate = self.alpha * sample + (1.0 - self.alpha) * self.rate
+        return self.rate
+
+
+def scales_from_rates(rates: Sequence[float],
+                      default_scale: float = 1.0) -> List[float]:
+    """Convert measured service rates into relative worker scales.
+
+    A scale is *relative service time per unit cost* (the convention of
+    :func:`run_admission` and the Figure 14 simulator): the fastest measured
+    worker gets scale 1.0 and a worker at half its rate gets scale 2.0.
+    Unmeasured workers (rate <= 0) get ``default_scale`` so a fresh pool
+    degrades to unit-scale dispatch.
+    """
+    fastest = max((r for r in rates if r > 0.0), default=0.0)
+    if fastest <= 0.0:
+        return [default_scale] * len(rates)
+    return [fastest / r if r > 0.0 else default_scale for r in rates]
+
+
 #: Registry of policy classes by name (for CLI flags and config strings).
 POLICIES: Dict[str, Type[AdmissionPolicy]] = {
     cls.name: cls

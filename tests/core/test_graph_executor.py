@@ -372,3 +372,65 @@ class TestRegionNodes:
         g.set_outputs([fe.outputs[0]])
         out = run_graph(g, {"n": [4, 1, 6]})
         assert data_values(out["total"]) == [6, 0, 15]
+
+
+class TestExecutorFastPath:
+    """The serving fast path: node schedules, light profiles, LinkProfile."""
+
+    def test_link_profile_single_pass_counts(self):
+        from repro.core.executor import LinkProfile
+        from repro.core.sltf import Barrier, Data
+
+        profile = LinkProfile()
+        profile.record([Data(1), Data(2), Barrier(1), Data(3), Barrier(2)])
+        assert profile.elements == 3
+        assert profile.barriers == 2
+        # Counts accumulate across records (the executor calls once per link
+        # per node firing).
+        profile.record([Barrier(1)])
+        assert profile.elements == 3
+        assert profile.barriers == 3
+        profile.record([])
+        assert (profile.elements, profile.barriers) == (3, 3)
+
+    def test_schedule_cached_until_graph_mutates(self):
+        from repro.core.executor import schedule_for
+
+        g = build_add_one_graph()
+        first = schedule_for(g)
+        assert schedule_for(g) is first  # memoized per structural version
+        extra = g.add_node("const", [g.inputs[0]], params={"value": 9})
+        g.set_outputs([extra.outputs[0]])
+        rebuilt = schedule_for(g)
+        assert rebuilt is not first
+        assert rebuilt.version == g.version
+
+    def test_schedule_preresolves_compute_opcodes(self):
+        from repro.core.executor import schedule_for
+
+        g = build_add_one_graph()
+        schedule = schedule_for(g)
+        compute = next(n for n in g.nodes if n.op == "compute")
+        assert schedule.fn(compute) is OPCODES["add"]
+        assert {"const", "compute"} <= schedule.ops
+
+    def test_link_stats_optional_per_run(self):
+        g = build_add_one_graph()
+        ex = Executor(g, link_stats=False)
+        out = ex.run({"x": [1, 2, 3]})
+        assert data_values(out["y"]) == [2, 3, 4]
+        assert ex.profile.link_stats == {}          # skipped
+        assert ex.profile.node_firings["compute"] == 1  # still collected
+
+    def test_executors_share_one_schedule(self):
+        g = build_add_one_graph()
+        a, b = Executor(g), Executor(g)
+        assert a._schedule is b._schedule
+        assert a.run({"x": [1, 2]}) == b.run({"x": [1, 2]})
+
+    def test_topo_order_memoized(self):
+        g = build_add_one_graph()
+        order = g.topo_order()
+        assert g.topo_order() is order
+        g.add_node("const", [g.inputs[0]], params={"value": 0})
+        assert g.topo_order() is not order

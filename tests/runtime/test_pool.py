@@ -146,3 +146,66 @@ class TestProcessPool:
         assert sum(s.requests for s in report.workers) == trace.size
         assert sum(len(s.resident_keys) for s in report.workers) >= 1
         json.dumps(report.to_dict())
+
+
+class TestMeasuredRateDispatch:
+    """Workers time their flushes; the dispatcher can act on the rates."""
+
+    def _trace(self, size=24):
+        return synthetic_trace(TraceConfig(
+            size=size, apps=["hash-table"], backend_mix={"vrda": 1.0},
+            distinct_shapes=size, n_threads=1, seed=3))
+
+    def test_snapshots_report_busy_time_and_rate(self):
+        with WorkerPool(workers=2, mode="inline") as pool:
+            report = pool.process(self._trace())
+        active = [s for s in report.workers if s.requests]
+        assert active
+        for snapshot in active:
+            assert snapshot.busy_s > 0.0
+            assert snapshot.service_rate_rps > 0.0
+            row = snapshot.to_dict()
+            assert row["busy_s"] > 0.0
+            assert row["service_rate_rps"] > 0.0
+
+    def test_rate_dispatch_starves_slow_worker(self):
+        pool = WorkerPool(workers=2, mode="inline", policy="hoisted-buffer",
+                          buffers_per_worker=1, max_batch_size=1,
+                          result_cache_capacity=0, rate_dispatch=True,
+                          service_delays=[0.0, 0.02])
+        with pool:
+            pool.process(self._trace(8))   # measure the rates
+            pool.process(self._trace(30))  # dispatch on them
+            snapshots = pool.last_snapshots
+            stats = pool.stats_row()
+        assert snapshots[1].service_rate_rps < snapshots[0].service_rate_rps
+        assert stats["rate_dispatch"] is True
+        assert stats["worker_scales"][1] > 1.0
+        assert snapshots[1].requests < snapshots[0].requests
+
+    def test_service_delays_validated(self):
+        with pytest.raises(PoolError):
+            WorkerPool(workers=2, service_delays=[0.1])
+
+    def test_unit_scales_by_default(self):
+        with WorkerPool(workers=2, mode="inline") as pool:
+            pool.process(self._trace(8))
+            stats = pool.stats_row()
+        assert stats["rate_dispatch"] is False
+        assert stats["worker_scales"] == [1.0, 1.0]
+        assert stats["intra_batch_workers"] == 1
+
+
+class TestPoolIntraBatchFanOut:
+    def test_pool_fanout_matches_sequential(self):
+        trace = TraceConfig(size=40, apps=["hash-table", "search"],
+                            backend_mix={"vrda": 1.0}, distinct_shapes=2,
+                            n_threads=2, seed=9)
+        results = []
+        for workers in (1, 4):
+            with WorkerPool(workers=2, mode="inline",
+                            intra_batch_workers=workers) as pool:
+                report = pool.process(synthetic_trace(trace))
+                results.append([payload(r) for r in report.responses])
+                assert pool.stats_row()["intra_batch_workers"] == workers
+        assert results[0] == results[1]

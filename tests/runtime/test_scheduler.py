@@ -118,3 +118,44 @@ class TestSchedulerAPI:
         assert report.total_tasks == 0
         assert report.makespan_s == 0.0
         assert report.imbalance() == 1.0
+
+
+class TestMeasuredRates:
+    """Measured service rates -> relative scales -> skewed dispatch."""
+
+    def test_estimator_ewma(self):
+        from repro.sim.policies import ServiceRateEstimator
+
+        est = ServiceRateEstimator(alpha=0.5)
+        assert est.rate == 0.0
+        assert est.observe(10, 1.0) == pytest.approx(10.0)   # first sample
+        assert est.observe(20, 1.0) == pytest.approx(15.0)   # 0.5*20 + 0.5*10
+        # Degenerate measurements leave the estimate untouched.
+        assert est.observe(0, 1.0) == pytest.approx(15.0)
+        assert est.observe(10, 0.0) == pytest.approx(15.0)
+
+    def test_scales_from_rates(self):
+        from repro.sim.policies import scales_from_rates
+
+        assert scales_from_rates([100.0, 50.0, 25.0]) == \
+            pytest.approx([1.0, 2.0, 4.0])
+        # Unmeasured workers fall back to the unit scale.
+        assert scales_from_rates([0.0, 0.0]) == [1.0, 1.0]
+        assert scales_from_rates([200.0, 0.0]) == pytest.approx([1.0, 1.0])
+        assert scales_from_rates([]) == []
+
+    def test_set_worker_scales(self):
+        scheduler = ShardScheduler(workers=2, policy="hoisted-buffer",
+                                   buffers_per_worker=1)
+        even = scheduler.dispatch([1.0] * 40)
+        scheduler.set_worker_scales([1.0, 4.0])
+        skewed = scheduler.dispatch([1.0] * 40)
+        assert even.workers[1].tasks == 20
+        # The 4x-slower worker now receives a fraction of the tasks.
+        assert skewed.workers[1].tasks < even.workers[1].tasks
+        assert skewed.workers[1].scale == 4.0
+
+    def test_set_worker_scales_validates_length(self):
+        scheduler = ShardScheduler(workers=2)
+        with pytest.raises(ValueError):
+            scheduler.set_worker_scales([1.0])
