@@ -19,7 +19,11 @@ serving layer:
   cache-affinity batch dispatch with residency feedback.
 * :mod:`repro.runtime.server` / :mod:`repro.runtime.client` — persistent
   NDJSON-over-TCP service front-end and its client (plus the CI smoke
-  driver, ``python -m repro.runtime.client --smoke``).
+  drivers, ``python -m repro.runtime.client --smoke`` / ``--smoke-http``).
+* :mod:`repro.runtime.gateway` — asyncio HTTP/1.1 + chunked-streaming
+  front door with rate-aware admission control (429 + ``Retry-After``
+  beyond the measured token budget) and slow-reader/idle handling, shared
+  with the NDJSON server through one :class:`PoolService`.
 * :mod:`repro.runtime.trace` — synthetic repeated-app request traces.
 
 ``python -m repro.runtime`` replays a trace end to end and reports
@@ -59,13 +63,18 @@ if TYPE_CHECKING:
 
 # client/server double as `python -m` entry points; importing them eagerly
 # here would make runpy warn about (and re-execute) the module it is about
-# to run as __main__, so they resolve lazily instead.
+# to run as __main__, so they resolve lazily instead.  The gateway exports
+# resolve lazily for the same reason (its http module imports server).
 _LAZY_EXPORTS = {
     "ClientError": "repro.runtime.client",
+    "OverloadedError": "repro.runtime.client",
     "RuntimeClient": "repro.runtime.client",
     "spawn_server": "repro.runtime.client",
     "PROTOCOL_VERSION": "repro.runtime.server",
     "RuntimeServer": "repro.runtime.server",
+    "AdmissionController": "repro.runtime.gateway.admission",
+    "PoolService": "repro.runtime.gateway.admission",
+    "HttpGateway": "repro.runtime.gateway.http",
 }
 
 
@@ -77,6 +86,7 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "AdmissionController",
     "AurochsBaselineBackend",
     "Backend",
     "BackendError",
@@ -91,10 +101,13 @@ __all__ = [
     "EngineError",
     "FunctionalVRDABackend",
     "GPUBaselineBackend",
+    "HttpGateway",
     "LRUCache",
+    "OverloadedError",
     "PROTOCOL_VERSION",
     "PoolError",
     "PoolReport",
+    "PoolService",
     "ProgramCache",
     "Request",
     "Response",

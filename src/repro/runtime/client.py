@@ -1,12 +1,20 @@
-"""Client for the runtime server's NDJSON protocol, plus the CI smoke driver.
+"""Client for the runtime server's NDJSON protocol, plus the CI smoke drivers.
 
 :class:`RuntimeClient` is the programmatic side of
 :mod:`repro.runtime.server`: one TCP connection, one JSON object per line,
-blocking round-trips.  ``python -m repro.runtime.client --smoke`` is the
-end-to-end self-test CI runs on every Python version: it spawns a server
-subprocess on a free port, drives a synthetic trace through ``batch``
-round-trips, checks every response, and asserts the server shuts down
-cleanly (exit code 0) on the ``shutdown`` op.
+blocking round-trips — now with a connect timeout (and bounded connect
+retries), a read timeout on every round-trip, and bounded exponential
+backoff that honors the server's ``retry_after_s`` hint when the front
+door sheds load with a 429 envelope.
+
+``python -m repro.runtime.client --smoke`` is the end-to-end self-test CI
+runs on every Python version: it spawns a server subprocess on a free
+port, drives a synthetic trace through ``batch`` round-trips, checks every
+response, and asserts the server shuts down cleanly (exit code 0) on the
+``shutdown`` op.  ``--smoke-http`` does the same through the HTTP gateway:
+plain requests, a chunked ``/v1/stream`` (asserting the first response
+arrives before the last), and a deterministic 429 + ``Retry-After``
+exercise against the admission budget.
 """
 
 from __future__ import annotations
@@ -17,27 +25,77 @@ import socket
 import subprocess
 import sys
 import threading
-from typing import Any, Dict, List, Optional, Sequence
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 
 LISTENING_PREFIX = "runtime-server listening on "
+HTTP_LISTENING_PREFIX = "runtime-server http listening on "
 
 
 class ClientError(ReproError):
     """The server connection failed or returned an unreadable reply."""
 
 
-class RuntimeClient:
-    """Blocking NDJSON client for one :class:`RuntimeServer` connection."""
+class OverloadedError(ClientError):
+    """The server kept shedding (429) past the client's retry budget."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0):
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class RuntimeClient:
+    """Blocking NDJSON client for one :class:`RuntimeServer` connection.
+
+    ``timeout`` bounds every read/write on the established connection;
+    ``connect_timeout``/``connect_retries`` bound connection establishment
+    (retried with ``backoff_s`` doubling per attempt — a freshly spawned
+    server may not be accepting yet).  ``max_retries_429`` is how many
+    times :meth:`request`/:meth:`batch` re-send after an overload envelope,
+    sleeping the server's ``retry_after_s`` hint (clamped to
+    ``max_backoff_s``) between attempts; 0 surfaces the envelope directly.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 60.0,
+        *,
+        connect_timeout: Optional[float] = 10.0,
+        connect_retries: int = 0,
+        max_retries_429: int = 0,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self.host = host
         self.port = port
-        try:
-            self._socket = socket.create_connection((host, port), timeout=timeout)
-        except OSError as error:
-            raise ClientError(f"cannot connect to {host}:{port}: {error}")
+        self.timeout = timeout
+        self.max_retries_429 = max_retries_429
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self._sleep = sleep
+        attempts = max(0, connect_retries) + 1
+        delay = max(backoff_s, 1e-3)
+        last_error: Optional[OSError] = None
+        for attempt in range(attempts):
+            try:
+                self._socket = socket.create_connection(
+                    (host, port), timeout=connect_timeout
+                )
+                break
+            except OSError as error:
+                last_error = error
+                if attempt + 1 < attempts:
+                    self._sleep(delay)
+                    delay = min(delay * 2, max_backoff_s)
+        else:
+            raise ClientError(f"cannot connect to {host}:{port}: {last_error}")
+        #: Established: every read/write is bounded by the op timeout.
+        self._socket.settimeout(timeout)
         self._file = self._socket.makefile("rwb")
 
     def close(self) -> None:
@@ -54,15 +112,40 @@ class RuntimeClient:
 
     def roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Send one JSON line, block for one JSON line back."""
-        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
-        self._file.flush()
-        line = self._file.readline()
+        try:
+            self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        except (TimeoutError, OSError) as error:
+            raise ClientError(
+                f"server round-trip failed after {self.timeout}s: {error}"
+            )
         if not line:
             raise ClientError("server closed the connection")
         try:
             return json.loads(line)
         except json.JSONDecodeError as error:
             raise ClientError(f"unreadable server reply: {error}")
+
+    def _roundtrip_with_backoff(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Round-trip, retrying overload envelopes per the server's hint."""
+        delay = max(self.backoff_s, 1e-3)
+        reply = self.roundtrip(payload)
+        for _ in range(self.max_retries_429):
+            if reply.get("code") != 429:
+                return reply
+            requested = reply.get("requested")
+            limit = reply.get("limit")
+            if requested is not None and limit is not None and requested > limit:
+                # The batch exceeds the whole budget: retrying the same
+                # size can never be admitted, even on an idle pool.  The
+                # caller must chunk it, so surface the envelope directly.
+                return reply
+            hint = float(reply.get("retry_after_s") or 0.0)
+            self._sleep(min(max(hint, delay), self.max_backoff_s))
+            delay = min(delay * 2, self.max_backoff_s)
+            reply = self.roundtrip(payload)
+        return reply
 
     # -- protocol ops -------------------------------------------------------
 
@@ -76,12 +159,23 @@ class RuntimeClient:
         """Serve one request, e.g. ``client.request(app="strlen", seed=1)``."""
         payload = {"op": "request"}
         payload.update(fields)
-        return self.roundtrip(payload)
+        return self._roundtrip_with_backoff(payload)
 
     def batch(self, requests: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
-        """Serve many requests through one pool flush; order is preserved."""
-        reply = self.roundtrip({"op": "batch", "requests": list(requests)})
+        """Serve many requests through one pool flush; order is preserved.
+
+        Raises :class:`OverloadedError` when the server sheds the batch and
+        the 429 retry budget is exhausted.
+        """
+        reply = self._roundtrip_with_backoff(
+            {"op": "batch", "requests": list(requests)}
+        )
         if not reply.get("ok"):
+            if reply.get("code") == 429:
+                raise OverloadedError(
+                    f"batch shed: {reply.get('error')}",
+                    retry_after_s=float(reply.get("retry_after_s") or 0.0),
+                )
             raise ClientError(f"batch failed: {reply.get('error')}")
         return reply["responses"]
 
@@ -90,12 +184,16 @@ class RuntimeClient:
 
 
 def spawn_server(
-    extra_args: Optional[Sequence[str]] = None, startup_timeout: float = 60.0
+    extra_args: Optional[Sequence[str]] = None,
+    startup_timeout: float = 60.0,
+    expect_http: bool = False,
 ):
     """Start ``python -m repro.runtime.server`` and wait for its endpoint.
 
-    Returns ``(process, host, port)``; the caller owns the process and
-    should drive a ``shutdown`` op (or kill it) when done.
+    Returns ``(process, host, port)``, or ``(process, host, port,
+    http_host, http_port)`` with ``expect_http=True`` (the caller must then
+    pass ``--http-port`` in ``extra_args``).  The caller owns the process
+    and should drive a ``shutdown`` op (or kill it) when done.
     """
     command = [sys.executable, "-u", "-m", "repro.runtime.server", "--port", "0"]
     command += list(extra_args or [])
@@ -107,21 +205,31 @@ def spawn_server(
     )
     # readline() has no timeout of its own; a reader thread bounds the wait
     # so a server that hangs before announcing its endpoint fails fast.
-    box: Dict[str, str] = {}
+    expected = [LISTENING_PREFIX] + ([HTTP_LISTENING_PREFIX] if expect_http else [])
+    box: Dict[int, str] = {}
 
-    def _read_endpoint() -> None:
-        box["line"] = process.stdout.readline()
+    def _read_endpoints() -> None:
+        for index in range(len(expected)):
+            box[index] = process.stdout.readline()
 
-    reader = threading.Thread(target=_read_endpoint, daemon=True)
+    reader = threading.Thread(target=_read_endpoints, daemon=True)
     reader.start()
     reader.join(startup_timeout)
-    line = box.get("line")
-    if line is None or not line.startswith(LISTENING_PREFIX):
-        process.kill()
-        what = "timed out" if line is None else f"got {line!r}"
-        raise ClientError(f"server failed to start ({what})")
-    host, _, port = line.removeprefix(LISTENING_PREFIX).strip().rpartition(":")
-    return process, host, int(port)
+
+    def _parse(index: int, prefix: str) -> Tuple[str, int]:
+        line = box.get(index)
+        if line is None or not line.startswith(prefix):
+            process.kill()
+            what = "timed out" if line is None else f"got {line!r}"
+            raise ClientError(f"server failed to start ({what})")
+        host, _, port = line.removeprefix(prefix).strip().rpartition(":")
+        return host, int(port)
+
+    host, port = _parse(0, LISTENING_PREFIX)
+    if not expect_http:
+        return process, host, port
+    http_host, http_port = _parse(1, HTTP_LISTENING_PREFIX)
+    return process, host, port, http_host, http_port
 
 
 def _smoke(args: argparse.Namespace) -> int:
@@ -142,7 +250,7 @@ def _smoke(args: argparse.Namespace) -> int:
     server_args += ["--policy", args.policy]
     process, host, port = spawn_server(server_args)
     try:
-        with RuntimeClient(host, port) as client:
+        with RuntimeClient(host, port, connect_retries=3) as client:
             assert client.ping().get("ok"), "ping failed"
             served: List[Dict[str, Any]] = []
             for start in range(0, len(payloads), args.chunk):
@@ -173,6 +281,120 @@ def _smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def _http_json(
+    connection, method: str, path: str, payload: Optional[Any] = None
+) -> Tuple[int, Dict[str, str], Any]:
+    """One stdlib ``http.client`` round-trip with a JSON body/reply."""
+    body = None if payload is None else json.dumps(payload)
+    connection.request(
+        method, path, body=body, headers={"Content-Type": "application/json"}
+    )
+    response = connection.getresponse()
+    headers = {k.lower(): v for k, v in response.getheaders()}
+    raw = response.read()
+    return response.status, headers, json.loads(raw) if raw else None
+
+
+def _smoke_http(args: argparse.Namespace) -> int:
+    """Spawn a gateway server and run a mixed request/stream/429 exercise."""
+    import http.client
+
+    from repro.runtime.trace import TraceConfig, synthetic_trace
+
+    budget = 16
+    server_args = [
+        "--workers",
+        str(args.workers),
+        "--pool-mode",
+        args.pool_mode,
+        "--policy",
+        args.policy,
+        "--http-port",
+        "0",
+        "--max-inflight",
+        str(budget),
+    ]
+    trace = TraceConfig(
+        size=args.requests,
+        apps=[name.strip() for name in args.apps.split(",") if name.strip()],
+        backend_mix={"vrda": 1.0},
+        distinct_shapes=2,
+        n_threads=2,
+        seed=13,
+    )
+    payloads = [request.to_dict() for request in synthetic_trace(trace)]
+    process, host, port, http_host, http_port = spawn_server(
+        server_args, expect_http=True
+    )
+    try:
+        connection = http.client.HTTPConnection(http_host, http_port, timeout=60)
+        status, _, health = _http_json(connection, "GET", "/healthz")
+        assert status == 200 and health["ok"], f"healthz failed: {health}"
+        # Plain requests and a batch within the admission budget.
+        status, _, reply = _http_json(connection, "POST", "/v1/request", payloads[0])
+        assert status == 200 and reply["ok"], f"/v1/request failed: {reply}"
+        chunk = min(args.chunk, budget)
+        served = 0
+        for start in range(0, len(payloads), chunk):
+            status, _, reply = _http_json(
+                connection,
+                "POST",
+                "/v1/batch",
+                {"requests": payloads[start : start + chunk]},
+            )
+            assert status == 200 and reply["ok"], f"/v1/batch failed: {reply}"
+            bad = [r for r in reply["responses"] if not r.get("ok")]
+            assert not bad, f"batch served bad responses: {bad[:3]}"
+            served += len(reply["responses"])
+        # Streaming: responses must arrive incrementally (first before last).
+        stream_n = min(6, len(payloads))
+        connection.request(
+            "POST",
+            "/v1/stream",
+            body=json.dumps({"requests": payloads[:stream_n], "chunk": 1}),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        assert response.status == 200, f"/v1/stream status {response.status}"
+        lines: List[Dict[str, Any]] = []
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            lines.append(json.loads(line))
+        assert len(lines) == stream_n, f"streamed {len(lines)}/{stream_n}"
+        assert all(r.get("ok") for r in lines), "streamed a bad response"
+        # A batch beyond the fixed budget must shed with 429 + Retry-After.
+        status, headers, reply = _http_json(
+            connection,
+            "POST",
+            "/v1/batch",
+            {"requests": [payloads[0]] * (budget + 8)},
+        )
+        assert status == 429, f"oversized batch got {status}, wanted 429"
+        assert "retry-after" in headers, "429 without a Retry-After header"
+        assert reply["code"] == 429 and reply["retry_after_s"] > 0
+        status, _, stats = _http_json(connection, "GET", "/v1/stats")
+        assert status == 200 and stats["admission"]["rejected"] >= budget + 8
+        assert stats["gateway"]["streamed_responses"] >= stream_n
+        connection.close()
+        with RuntimeClient(host, port, connect_retries=3) as client:
+            client.shutdown()
+        returncode = process.wait(timeout=60)
+    finally:
+        if process.poll() is None:
+            process.kill()
+    if returncode != 0:
+        print(f"http smoke FAILED: server exited {returncode}", file=sys.stderr)
+        return 1
+    print(
+        f"http smoke ok: {served} batched + {stream_n} streamed requests over "
+        f"{args.pool_mode} pool ({args.workers} workers), 429 shed at "
+        f"budget {budget}, clean shutdown"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.client",
@@ -184,6 +406,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="spawn a server subprocess and run the end-to-end self-test",
+    )
+    parser.add_argument(
+        "--smoke-http",
+        action="store_true",
+        help="spawn a server with the HTTP gateway and run the mixed "
+        "request/stream/429 self-test",
     )
     parser.add_argument("--requests", type=int, default=50)
     parser.add_argument(
@@ -205,6 +433,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--n-threads", type=int, default=4)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--backend", type=str, default="vrda")
+    parser.add_argument(
+        "--retries-429",
+        type=int,
+        default=0,
+        help="times to retry a shed (429) request, honoring the server's "
+        "retry_after_s hint with bounded exponential backoff",
+    )
     return parser
 
 
@@ -212,10 +447,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.smoke:
         return _smoke(args)
+    if args.smoke_http:
+        return _smoke_http(args)
     if args.app is None:
-        print("nothing to do: pass --smoke, or --port plus --app", file=sys.stderr)
+        print(
+            "nothing to do: pass --smoke, --smoke-http, or --port plus --app",
+            file=sys.stderr,
+        )
         return 2
-    with RuntimeClient(args.host, args.port) as client:
+    with RuntimeClient(
+        args.host, args.port, max_retries_429=args.retries_429
+    ) as client:
         response = client.request(
             app=args.app,
             n_threads=args.n_threads,

@@ -451,6 +451,11 @@ class Engine:
     # -- stats --------------------------------------------------------------
 
     @property
+    def pending(self) -> int:
+        """Requests submitted but not yet coalesced into batches."""
+        return len(self._queue)
+
+    @property
     def program_cache_stats(self) -> CacheStats:
         return self.program_cache.stats
 

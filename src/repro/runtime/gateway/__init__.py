@@ -1,0 +1,48 @@
+"""``repro.runtime.gateway`` — the HTTP/streaming front door on the pool.
+
+Three modules, one subsystem:
+
+* :mod:`repro.runtime.gateway.admission` — the rate-aware
+  :class:`AdmissionController` (token budget from measured drain rates)
+  and the :class:`PoolService` front door both servers share.
+* :mod:`repro.runtime.gateway.http` — the asyncio HTTP/1.1 server
+  (``/v1/request``, ``/v1/batch``, ``/v1/stream``, ``/v1/stats``,
+  ``/healthz``) with idle reaping and write deadlines.
+* :mod:`repro.runtime.gateway.streaming` — chunked-transfer encoding with
+  bounded buffers and slow-reader drop.
+
+``http`` imports :mod:`repro.runtime.server` (for nothing today, but the
+NDJSON server imports ``gateway.admission`` at module level), so the
+package exports resolve lazily — importing ``repro.runtime.gateway``
+must never force ``http`` while ``server`` is mid-import.
+"""
+
+import importlib
+
+_LAZY_EXPORTS = {
+    "AdmissionController": "repro.runtime.gateway.admission",
+    "AdmissionDecision": "repro.runtime.gateway.admission",
+    "AdmissionSnapshot": "repro.runtime.gateway.admission",
+    "PoolService": "repro.runtime.gateway.admission",
+    "ServeResult": "repro.runtime.gateway.admission",
+    "overload_envelope": "repro.runtime.gateway.admission",
+    "GATEWAY_VERSION": "repro.runtime.gateway.http",
+    "HttpError": "repro.runtime.gateway.http",
+    "HttpGateway": "repro.runtime.gateway.http",
+    "ChunkedWriter": "repro.runtime.gateway.streaming",
+    "SlowReaderError": "repro.runtime.gateway.streaming",
+    "encode_chunk": "repro.runtime.gateway.streaming",
+    "iter_subbatches": "repro.runtime.gateway.streaming",
+    "ndjson_line": "repro.runtime.gateway.streaming",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        value = getattr(importlib.import_module(_LAZY_EXPORTS[name]), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = sorted(_LAZY_EXPORTS)

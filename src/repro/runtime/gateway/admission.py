@@ -1,0 +1,362 @@
+"""Rate-aware admission control and the shared pool front door.
+
+The serving stack measures how fast it drains work (per-worker EWMA service
+rates from PR 3, plus the front door's own flush measurements) but, until
+this module, accepted and queued work unboundedly: a client could park an
+arbitrary backlog behind the pool lock and every later request would wait
+behind it.  :class:`AdmissionController` turns the measured drain rate into
+a *token budget* — the pool may hold at most ``drain_rps × headroom``
+requests in flight (``headroom`` is literally "seconds of queued work") —
+and sheds everything beyond it with a computed retry hint instead of
+queueing it.
+
+:class:`PoolService` is the front door both servers share: one
+:class:`~repro.runtime.pool.WorkerPool`, one lock serializing flushes, one
+admission controller, and one set of counters.  The NDJSON TCP server
+(:mod:`repro.runtime.server`) and the HTTP gateway
+(:mod:`repro.runtime.gateway.http`) each wrap the same ``PoolService``
+instance, so both front-ends shed load identically — a 429 envelope on one
+wire is a 429 status on the other, backed by the same token bucket.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.runtime.engine import Request
+from repro.runtime.pool import PoolError, WorkerPool
+from repro.sim.policies import ServiceRateEstimator, pool_drain_rps
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of one :meth:`AdmissionController.try_acquire` call."""
+
+    admitted: bool
+    requested: int
+    inflight: int
+    limit: int
+    #: Suggested client wait before retrying, seconds (0.0 when admitted).
+    retry_after_s: float = 0.0
+
+
+@dataclass
+class AdmissionSnapshot:
+    """Controller counters for stats endpoints (JSON-ready)."""
+
+    inflight: int
+    limit: int
+    drain_rps: float
+    admitted: int
+    rejected: int
+    peak_inflight: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "inflight": self.inflight,
+            "limit": self.limit,
+            "drain_rps": round(self.drain_rps, 2),
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "peak_inflight": self.peak_inflight,
+        }
+
+
+class AdmissionController:
+    """Token-budget admission over the pool's measured drain rate.
+
+    The budget is ``max_inflight`` when set explicitly, otherwise
+    ``ceil(drain_rps × headroom)``: the pool may hold ``headroom`` seconds
+    of work in flight before new arrivals are shed.  The drain estimate
+    prefers the controller's own flush measurements (an EWMA folded via
+    :meth:`observe_drain`, the same :class:`ServiceRateEstimator` the pool
+    workers use), falls back to the sum of the workers' reported EWMA rates
+    (:meth:`update_rates`), and bottoms out at ``default_drain_rps`` for a
+    pool that has never served anything.
+
+    ``retry_after_s`` on a rejection is the time the measured drain rate
+    needs to clear the excess — the ``Retry-After`` the gateway puts on the
+    wire — clamped to ``[min_retry_s, max_retry_s]``.
+
+    Thread-safe: both servers' handler threads and the gateway's executor
+    threads share one controller.
+    """
+
+    def __init__(
+        self,
+        max_inflight: Optional[int] = None,
+        headroom: float = 2.0,
+        *,
+        default_drain_rps: float = 100.0,
+        min_limit: int = 1,
+        min_retry_s: float = 0.05,
+        max_retry_s: float = 10.0,
+        alpha: float = 0.5,
+    ):
+        if max_inflight is not None and max_inflight < 0:
+            raise ValueError("max_inflight must be >= 0")
+        if headroom <= 0.0:
+            raise ValueError("headroom must be positive (seconds of work)")
+        self.max_inflight = max_inflight
+        self.headroom = headroom
+        self.default_drain_rps = default_drain_rps
+        self.min_limit = max(0, min_limit)
+        self.min_retry_s = min_retry_s
+        self.max_retry_s = max_retry_s
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._estimator = ServiceRateEstimator(alpha=alpha)
+        self._worker_rates: List[float] = []
+        self.admitted = 0
+        self.rejected = 0
+        self.peak_inflight = 0
+
+    # -- measurement --------------------------------------------------------
+
+    @property
+    def drain_rps(self) -> float:
+        """Best current estimate of pool-level completed requests/second."""
+        if self._estimator.rate > 0.0:
+            return self._estimator.rate
+        return pool_drain_rps(self._worker_rates, default=self.default_drain_rps)
+
+    @property
+    def limit(self) -> int:
+        """The current token budget (maximum admitted in-flight requests)."""
+        if self.max_inflight is not None:
+            return self.max_inflight
+        return max(self.min_limit, math.ceil(self.drain_rps * self.headroom))
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def observe_drain(self, served: int, elapsed_s: float) -> None:
+        """Fold one flush measurement (requests served / wall seconds)."""
+        with self._lock:
+            self._estimator.observe(served, elapsed_s)
+
+    def update_rates(self, rates: Sequence[float]) -> None:
+        """Install the workers' reported EWMA service rates (fallback)."""
+        with self._lock:
+            self._worker_rates = list(rates)
+
+    # -- token accounting ---------------------------------------------------
+
+    def try_acquire(self, n: int = 1) -> AdmissionDecision:
+        """Admit ``n`` requests, or reject them with a retry hint."""
+        with self._lock:
+            limit = self.limit
+            if self._inflight + n <= limit:
+                self._inflight += n
+                self.admitted += n
+                self.peak_inflight = max(self.peak_inflight, self._inflight)
+                return AdmissionDecision(
+                    admitted=True,
+                    requested=n,
+                    inflight=self._inflight,
+                    limit=limit,
+                )
+            self.rejected += n
+            excess = self._inflight + n - limit
+            retry = min(
+                max(excess / max(self.drain_rps, 1e-9), self.min_retry_s),
+                self.max_retry_s,
+            )
+            return AdmissionDecision(
+                admitted=False,
+                requested=n,
+                inflight=self._inflight,
+                limit=limit,
+                retry_after_s=retry,
+            )
+
+    def release(self, n: int = 1) -> None:
+        with self._lock:
+            self._inflight = max(0, self._inflight - n)
+
+    def snapshot(self) -> AdmissionSnapshot:
+        with self._lock:
+            return AdmissionSnapshot(
+                inflight=self._inflight,
+                limit=self.limit,
+                drain_rps=self.drain_rps,
+                admitted=self.admitted,
+                rejected=self.rejected,
+                peak_inflight=self.peak_inflight,
+            )
+
+
+@dataclass
+class ServeResult:
+    """One front-door serve call: per-request result dicts plus shed state."""
+
+    results: List[Dict[str, Any]]
+    shed: bool = False
+    retry_after_s: float = 0.0
+    #: Seconds this call waited for the pool lock (0.0 when shed/failed).
+    queue_wait_s: float = 0.0
+
+
+def overload_envelope(decision: AdmissionDecision) -> Dict[str, Any]:
+    """The wire form of a shed request, shared by both front-ends.
+
+    ``requested``/``limit`` let clients distinguish "over budget right now,
+    retry later" from "this batch exceeds the whole budget, retrying the
+    same size can never succeed — chunk it" (the client's backoff loop
+    checks exactly that).
+    """
+    return {
+        "ok": False,
+        "error": (
+            f"overloaded: {decision.inflight}/{decision.limit} requests in "
+            f"flight; retry in {decision.retry_after_s:.3f}s"
+        ),
+        "code": 429,
+        "retry_after_s": round(decision.retry_after_s, 3),
+        "requested": decision.requested,
+        "limit": decision.limit,
+    }
+
+
+class PoolService:
+    """The shared front door: one pool, one lock, one admission controller.
+
+    ``admission=None`` disables shedding entirely (the pre-gateway
+    behaviour, kept for comparisons and for tests).  All serving goes
+    through :meth:`serve_payloads`; the NDJSON server and the HTTP gateway
+    only differ in how they frame its :class:`ServeResult`.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        admission: Optional[AdmissionController] = None,
+        wait_samples: int = 4096,
+    ):
+        self.pool = pool
+        self.admission = admission
+        self.pool_lock = threading.Lock()
+        self.served = 0
+        self.shed = 0
+        #: Recent pool-lock queue waits, for the p99 the stats report.
+        self._waits: deque = deque(maxlen=max(1, wait_samples))
+        self._counter_lock = threading.Lock()
+        self._failure_callbacks: List[Callable[[], None]] = []
+
+    def on_failure(self, callback: Callable[[], None]) -> None:
+        """Register a callback for a fatal pool failure (server shutdown)."""
+        self._failure_callbacks.append(callback)
+
+    # -- serving ------------------------------------------------------------
+
+    def serve_payloads(self, payloads: Sequence[Any]) -> ServeResult:
+        """Serve one batch of JSON request payloads, order-preserving.
+
+        Admission is all-or-nothing per call: either every payload gets a
+        token (and malformed ones become error envelopes without poisoning
+        the rest), or the whole call is shed with one retry hint.  Tokens
+        are held from admission until the flush completes, so work waiting
+        on the pool lock counts against the in-flight budget — that is the
+        wire-level backpressure.
+        """
+        n = len(payloads)
+        if n == 0:
+            return ServeResult(results=[])
+        if self.admission is not None:
+            decision = self.admission.try_acquire(n)
+            if not decision.admitted:
+                with self._counter_lock:
+                    self.shed += n
+                return ServeResult(
+                    results=[overload_envelope(decision) for _ in payloads],
+                    shed=True,
+                    retry_after_s=decision.retry_after_s,
+                )
+        try:
+            return self._serve_admitted(payloads)
+        finally:
+            if self.admission is not None:
+                self.admission.release(n)
+
+    def _serve_admitted(self, payloads: Sequence[Any]) -> ServeResult:
+        n = len(payloads)
+        slots: List[tuple] = []
+        queued_at = time.perf_counter()
+        try:
+            with self.pool_lock:
+                wait = time.perf_counter() - queued_at
+                for payload in payloads:
+                    try:
+                        slots.append(
+                            ("id", self.pool.submit(Request.from_dict(payload)))
+                        )
+                    except (ReproError, TypeError, ValueError) as error:
+                        slots.append(("error", str(error)))
+                submitted = sum(1 for kind, _ in slots if kind == "id")
+                flush_started = time.perf_counter()
+                report = self.pool.flush()
+                flush_elapsed = time.perf_counter() - flush_started
+                if self.admission is not None:
+                    # Only requests the pool actually served may feed the
+                    # drain estimate: counting malformed payloads against a
+                    # near-instant empty flush would inject absurd rps
+                    # samples and inflate the admission budget.
+                    if submitted > 0:
+                        self.admission.observe_drain(submitted, flush_elapsed)
+                    self.admission.update_rates(self.pool.measured_rates())
+        except PoolError as error:
+            # A lost worker closed the pool; a front door that can never
+            # serve again must tell its servers to exit (cleanly) so a
+            # supervisor restarts them, not linger as listening zombies.
+            # Clients still get an error envelope per request.
+            for callback in self._failure_callbacks:
+                callback()
+            message = f"worker pool failed: {error}; server shutting down"
+            return ServeResult(
+                results=[{"ok": False, "error": message} for _ in payloads]
+            )
+        with self._counter_lock:
+            self.served += n
+            self._waits.append(wait)
+        responses = {r.request_id: r for r in report.responses}
+        results: List[Dict[str, Any]] = []
+        for kind, value in slots:
+            if kind == "id":
+                results.append(responses[value].to_dict())
+            else:
+                results.append({"ok": False, "error": value})
+        return ServeResult(results=results, queue_wait_s=wait)
+
+    # -- stats --------------------------------------------------------------
+
+    def queue_wait_quantile(self, q: float) -> float:
+        """The ``q``-quantile of recent pool-lock queue waits, seconds."""
+        with self._counter_lock:  # appends race with stats reads otherwise
+            waits = sorted(self._waits)
+        if not waits:
+            return 0.0
+        index = min(len(waits) - 1, max(0, math.ceil(q * len(waits)) - 1))
+        return waits[index]
+
+    def stats_payload(self) -> Dict[str, Any]:
+        with self.pool_lock:
+            pool_stats = self.pool.stats_row()
+        payload: Dict[str, Any] = {
+            "ok": True,
+            "op": "stats",
+            "served": self.served,
+            "shed": self.shed,
+            "queue_wait_p50_s": round(self.queue_wait_quantile(0.50), 6),
+            "queue_wait_p99_s": round(self.queue_wait_quantile(0.99), 6),
+            "pool": pool_stats,
+        }
+        if self.admission is not None:
+            payload["admission"] = self.admission.snapshot().to_dict()
+        return payload

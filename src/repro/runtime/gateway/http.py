@@ -1,0 +1,546 @@
+"""Asyncio HTTP/1.1 front door over the shared :class:`PoolService`.
+
+Like the NDJSON server, the gateway hand-rolls its wire protocol on the
+stdlib: an ``asyncio.start_server`` accept loop, a bounded request parser,
+and keep-alive connections.  Endpoints:
+
+* ``GET /healthz`` — liveness, never touches the pool.
+* ``GET /v1/stats`` — served/shed counters, queue-wait percentiles, the
+  admission snapshot, and the pool's per-worker cache stats.
+* ``POST /v1/request`` — one JSON request object, one JSON response.
+* ``POST /v1/batch`` — ``{"requests": [...]}`` (or a bare list) through
+  one pool flush; order-preserving, malformed entries become per-request
+  error envelopes.
+* ``POST /v1/stream`` — same input, chunked-transfer NDJSON output: the
+  request list is served ``chunk`` requests per flush and each flush's
+  responses are written as they complete, so the first response leaves the
+  server while later ones are still executing.
+
+Backpressure is enforced at both ends of a connection.  On the way in, the
+shared :class:`~repro.runtime.gateway.admission.AdmissionController` sheds
+work beyond the measured token budget with ``429`` + ``Retry-After`` (the
+same budget the NDJSON server enforces).  On the way out, write buffers
+are bounded and every write carries a deadline, so a slow reader is
+dropped instead of pinning results in memory; idle connections are reaped
+by a read deadline.  Pool flushes are blocking, so they run on the event
+loop's default thread-pool executor — the asyncio side never blocks on the
+pool lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.gateway.admission import PoolService
+from repro.runtime.gateway.streaming import (
+    ChunkedWriter,
+    SlowReaderError,
+    drain_write,
+    iter_subbatches,
+    ndjson_line,
+)
+
+#: Wire-visible protocol version, shared with the NDJSON front-end.
+GATEWAY_VERSION = 1
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Routes and the methods they answer (for 405 vs 404 discrimination).
+_ROUTES = {
+    "/healthz": ("GET",),
+    "/v1/stats": ("GET",),
+    "/v1/request": ("POST",),
+    "/v1/batch": ("POST",),
+    "/v1/stream": ("POST",),
+}
+
+
+class HttpError(Exception):
+    """A request this server refuses, as an HTTP status + JSON detail."""
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+class _IdleTimeout(Exception):
+    """The read deadline elapsed between or inside requests."""
+
+
+class ParsedRequest:
+    """One parsed HTTP request (method, path, headers, body)."""
+
+    __slots__ = ("method", "path", "headers", "body", "keep_alive")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        keep_alive: bool,
+    ):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+        self.keep_alive = keep_alive
+
+    def json_body(self) -> Any:
+        try:
+            return json.loads(self.body or b"null")
+        except json.JSONDecodeError as error:
+            raise HttpError(400, f"request body is not valid JSON: {error}")
+
+
+def _response_bytes(
+    status: int,
+    payload: Dict[str, Any],
+    keep_alive: bool,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    body = json.dumps(payload).encode("utf-8") + b"\n"
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return "\r\n".join(lines).encode("ascii") + b"\r\n\r\n" + body
+
+
+def _stream_header_bytes(keep_alive: bool) -> bytes:
+    lines = [
+        "HTTP/1.1 200 OK",
+        "Content-Type: application/x-ndjson",
+        "Transfer-Encoding: chunked",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    return "\r\n".join(lines).encode("ascii") + b"\r\n\r\n"
+
+
+class HttpGateway:
+    """The asyncio HTTP front-end; runs its own event loop in a thread.
+
+    Construction binds nothing — :meth:`start` (or :meth:`__enter__`)
+    spawns the loop thread, binds the socket, and publishes the bound
+    address as :attr:`http_host` / :attr:`http_port`.  One gateway serves
+    exactly one :class:`PoolService`, usually the same instance a
+    :class:`~repro.runtime.server.RuntimeServer` wraps.
+    """
+
+    def __init__(
+        self,
+        service: PoolService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        idle_timeout_s: Optional[float] = 60.0,
+        write_timeout_s: float = 10.0,
+        max_body_bytes: int = 4 * 1024 * 1024,
+        write_buffer_limit: int = 256 * 1024,
+        stream_chunk: int = 1,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.idle_timeout_s = idle_timeout_s
+        self.write_timeout_s = write_timeout_s
+        self.max_body_bytes = max_body_bytes
+        self.write_buffer_limit = write_buffer_limit
+        self.stream_chunk = max(1, stream_chunk)
+        self.http_host: Optional[str] = None
+        self.http_port: Optional[int] = None
+        #: Monotonic counters, mutated only on the loop thread; reads from
+        #: other threads see whole int values (stats are best-effort).
+        self.counters: Dict[str, int] = {
+            "connections": 0,
+            "requests": 0,
+            "streamed_responses": 0,
+            "shed": 0,
+            "idle_reaped": 0,
+            "slow_readers_dropped": 0,
+            "bad_requests": 0,
+            "internal_errors": 0,
+        }
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Future] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.http_host}:{self.http_port}"
+
+    def start(self, timeout_s: float = 30.0) -> "HttpGateway":
+        """Bind and serve on a daemon thread; returns once listening."""
+        self._thread = threading.Thread(
+            target=self._run_loop, name="http-gateway", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout_s):
+            raise RuntimeError("HTTP gateway failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"HTTP gateway failed to bind: {self._startup_error}"
+            )
+        return self
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            def _finish() -> None:
+                if not stop.done():
+                    stop.set_result(None)
+
+            try:
+                loop.call_soon_threadsafe(_finish)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+
+    def __enter__(self) -> "HttpGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as error:  # noqa: BLE001 - surfaced via start()
+            if self._started.is_set():
+                # Past startup, nothing reads _startup_error: a dying loop
+                # would silently take the HTTP endpoint dark while the rest
+                # of the process looks healthy.  Say so.
+                print(
+                    f"http-gateway event loop died: {error!r}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            self._startup_error = error
+        finally:
+            self._started.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = self._loop.create_future()
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        address = server.sockets[0].getsockname()
+        self.http_host, self.http_port = address[0], address[1]
+        self._started.set()
+        async with server:
+            await self._stop
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.counters["connections"] += 1
+        transport = writer.transport
+        if transport is not None:
+            transport.set_write_buffer_limits(high=self.write_buffer_limit)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _IdleTimeout:
+                    self.counters["idle_reaped"] += 1
+                    break
+                except HttpError as error:
+                    self.counters["bad_requests"] += 1
+                    await self._write(
+                        writer,
+                        _response_bytes(
+                            error.status,
+                            {"ok": False, "error": error.detail},
+                            keep_alive=False,
+                        ),
+                    )
+                    break
+                if request is None:
+                    break  # clean EOF between requests
+                self.counters["requests"] += 1
+                try:
+                    keep_alive = await self._dispatch(request, writer)
+                except HttpError as error:
+                    await self._write(
+                        writer,
+                        _response_bytes(
+                            error.status,
+                            {"ok": False, "error": error.detail},
+                            keep_alive=False,
+                        ),
+                    )
+                    break
+                except (SlowReaderError, ConnectionError):
+                    raise
+                except Exception as error:  # noqa: BLE001 - answer, don't drop
+                    # An unexpected internal failure still owes the client a
+                    # response; 500 then close (the connection state may be
+                    # torn mid-stream, so keep-alive is off the table).
+                    self.counters["internal_errors"] += 1
+                    await self._write(
+                        writer,
+                        _response_bytes(
+                            500,
+                            {"ok": False, "error": f"internal error: {error}"},
+                            keep_alive=False,
+                        ),
+                    )
+                    break
+                if not keep_alive:
+                    break
+        except SlowReaderError:
+            # A graceful close would flush the bounded write buffer first,
+            # which is exactly what a stalled client never drains: abort the
+            # transport so the buffered results are freed immediately.
+            self.counters["slow_readers_dropped"] += 1
+            if writer.transport is not None:
+                writer.transport.abort()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_line(self, reader: asyncio.StreamReader) -> bytes:
+        try:
+            return await asyncio.wait_for(reader.readline(), self.idle_timeout_s)
+        except asyncio.TimeoutError:
+            raise _IdleTimeout()
+        except ValueError:
+            raise HttpError(400, "header line too long")
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[ParsedRequest]:
+        line = await self._read_line(reader)
+        if not line:
+            return None
+        try:
+            method, target, version = line.decode("ascii").split()
+        except (UnicodeDecodeError, ValueError):
+            raise HttpError(400, "malformed request line")
+        if not version.startswith("HTTP/1."):
+            raise HttpError(400, f"unsupported protocol {version}")
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await self._read_line(reader)
+            if raw in (b"\r\n", b"\n"):
+                break
+            if not raw:
+                raise HttpError(400, "connection closed inside headers")
+            if len(headers) >= 100:
+                raise HttpError(400, "too many headers")
+            try:
+                name, _, value = raw.decode("latin-1").partition(":")
+            except UnicodeDecodeError:
+                raise HttpError(400, "undecodable header")
+            headers[name.strip().lower()] = value.strip()
+        if "transfer-encoding" in headers:
+            raise HttpError(400, "chunked request bodies are not supported")
+        body = b""
+        length_header = headers.get("content-length", "0")
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {length_header!r}")
+        if length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if length > self.max_body_bytes:
+            raise HttpError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit",
+            )
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), self.idle_timeout_s
+                )
+            except asyncio.TimeoutError:
+                raise _IdleTimeout()
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "connection closed inside request body")
+        connection = headers.get("connection", "").lower()
+        if version == "HTTP/1.0":
+            # HTTP/1.0 defaults to close; holding the socket open would hang
+            # clients that delimit responses by connection close.
+            keep_alive = connection == "keep-alive"
+        else:
+            keep_alive = connection != "close"
+        path = target.split("?", 1)[0]
+        return ParsedRequest(method.upper(), path, headers, body, keep_alive)
+
+    async def _write(self, writer: asyncio.StreamWriter, data: bytes) -> None:
+        await drain_write(writer, data, self.write_timeout_s)
+
+    # -- request dispatch ---------------------------------------------------
+
+    async def _dispatch(
+        self, request: ParsedRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        methods = _ROUTES.get(request.path)
+        if methods is None:
+            raise HttpError(404, f"no such endpoint {request.path!r}")
+        if request.method not in methods:
+            raise HttpError(
+                405, f"{request.path} answers {'/'.join(methods)} only"
+            )
+        if request.path == "/healthz":
+            payload = {"ok": True, "version": GATEWAY_VERSION}
+            await self._write(
+                writer, _response_bytes(200, payload, request.keep_alive)
+            )
+            return request.keep_alive
+        if request.path == "/v1/stats":
+            stats = await self._in_executor(self.service.stats_payload)
+            stats["gateway"] = dict(self.counters)
+            stats["version"] = GATEWAY_VERSION
+            await self._write(
+                writer, _response_bytes(200, stats, request.keep_alive)
+            )
+            return request.keep_alive
+        if request.path == "/v1/request":
+            return await self._serve_single(request, writer)
+        if request.path == "/v1/batch":
+            return await self._serve_batch(request, writer)
+        return await self._serve_stream(request, writer)
+
+    async def _in_executor(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(None, fn, *args)
+
+    @staticmethod
+    def _request_list(body: Any) -> Tuple[List[Any], Dict[str, Any]]:
+        """Accept ``{"requests": [...], ...}`` or a bare JSON list."""
+        if isinstance(body, list):
+            return body, {}
+        if isinstance(body, dict):
+            requests = body.get("requests")
+            if isinstance(requests, list):
+                return requests, body
+        raise HttpError(
+            400, "body must be a JSON list or an object with a 'requests' list"
+        )
+
+    def _overload_response(
+        self, result, keep_alive: bool, extra: Optional[Dict[str, Any]] = None
+    ) -> bytes:
+        self.counters["shed"] += len(result.results)
+        envelope = result.results[0]
+        payload = {
+            "ok": False,
+            "error": envelope["error"],
+            "code": 429,
+            "retry_after_s": result.retry_after_s,
+            "requested": envelope.get("requested"),
+            "limit": envelope.get("limit"),
+        }
+        payload.update(extra or {})
+        return _response_bytes(
+            429,
+            payload,
+            keep_alive,
+            extra_headers={"Retry-After": str(max(1, round(result.retry_after_s)))},
+        )
+
+    async def _serve_single(
+        self, request: ParsedRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        payload = request.json_body()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "body must be one JSON request object")
+        result = await self._in_executor(self.service.serve_payloads, [payload])
+        if result.shed:
+            await self._write(
+                writer, self._overload_response(result, request.keep_alive)
+            )
+            return request.keep_alive
+        await self._write(
+            writer,
+            _response_bytes(200, result.results[0], request.keep_alive),
+        )
+        return request.keep_alive
+
+    async def _serve_batch(
+        self, request: ParsedRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        requests, _ = self._request_list(request.json_body())
+        result = await self._in_executor(self.service.serve_payloads, requests)
+        if result.shed:
+            await self._write(
+                writer,
+                self._overload_response(
+                    result, request.keep_alive, {"requests": len(requests)}
+                ),
+            )
+            return request.keep_alive
+        payload = {"ok": True, "responses": result.results}
+        await self._write(
+            writer, _response_bytes(200, payload, request.keep_alive)
+        )
+        return request.keep_alive
+
+    async def _serve_stream(
+        self, request: ParsedRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        requests, envelope = self._request_list(request.json_body())
+        chunk = envelope.get("chunk", self.stream_chunk)
+        if not isinstance(chunk, int) or chunk < 1:
+            raise HttpError(400, "'chunk' must be a positive integer")
+        stream = ChunkedWriter(
+            writer,
+            write_timeout_s=self.write_timeout_s,
+            buffer_limit=self.write_buffer_limit,
+        )
+        await self._write(writer, _stream_header_bytes(request.keep_alive))
+        # Each sub-batch is one pool flush; its responses go on the wire
+        # before the next sub-batch executes.  Shed sub-batches stream 429
+        # envelopes (with retry hints) without ending the response, so a
+        # partially-overloaded stream still delivers what was admitted.
+        try:
+            for sub in iter_subbatches(requests, chunk):
+                result = await self._in_executor(self.service.serve_payloads, sub)
+                if result.shed:
+                    self.counters["shed"] += len(result.results)
+                for line in result.results:
+                    await stream.write_chunk(ndjson_line(line))
+                    self.counters["streamed_responses"] += 1
+            await stream.finish()
+        except (SlowReaderError, ConnectionError):
+            raise
+        except Exception:  # noqa: BLE001 - headers are already on the wire
+            # A 500 response here would be parsed as a chunk-size line by the
+            # client's chunked decoder; abort so it sees a clean truncation.
+            self.counters["internal_errors"] += 1
+            if writer.transport is not None:
+                writer.transport.abort()
+            return False
+        return request.keep_alive

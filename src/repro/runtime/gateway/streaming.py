@@ -1,0 +1,102 @@
+"""Chunked-transfer streaming with wire-level backpressure.
+
+``POST /v1/stream`` answers with ``Transfer-Encoding: chunked`` and one
+NDJSON line per served request, written as each sub-batch completes.  The
+risk of streaming is the *slow reader*: a client that stops draining its
+socket would otherwise pin every later response in the server's write
+buffer forever.  :class:`ChunkedWriter` bounds that two ways:
+
+* the transport's write buffer is capped (``buffer_limit``), so a stalled
+  client makes ``drain()`` wait instead of the buffer growing without
+  bound, and
+* every chunk write carries a deadline (``write_timeout_s``); a drain that
+  blocks past it raises :class:`SlowReaderError` and the gateway aborts
+  the connection, freeing the buffered results.
+
+:func:`iter_subbatches` is the incremental-flush splitter: a streamed
+request list is served ``chunk`` requests per pool flush, which is what
+lets the first response leave the server before the batch finishes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Iterator, List, Sequence
+
+from repro.errors import ReproError
+
+CRLF = b"\r\n"
+#: Terminal chunk of a chunked-transfer body.
+LAST_CHUNK = b"0\r\n\r\n"
+
+
+class SlowReaderError(ReproError):
+    """A client stopped draining its socket past the write deadline."""
+
+
+async def drain_write(writer, data: bytes, write_timeout_s: float) -> None:
+    """Write ``data`` and drain under a deadline (the one write primitive).
+
+    Both plain responses and stream chunks go through this; a drain that
+    blocks past the deadline (a stalled client behind a bounded transport
+    buffer) raises :class:`SlowReaderError` so the caller can abort the
+    connection instead of buffering without bound.
+    """
+    writer.write(data)
+    try:
+        await asyncio.wait_for(writer.drain(), write_timeout_s)
+    except asyncio.TimeoutError as error:
+        raise SlowReaderError(
+            f"client did not drain its socket within {write_timeout_s:.1f}s; "
+            f"dropping the connection"
+        ) from error
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """One chunked-transfer frame: hex size line, payload, CRLF."""
+    return f"{len(data):x}".encode("ascii") + CRLF + data + CRLF
+
+
+def ndjson_line(payload: Dict[str, Any]) -> bytes:
+    """One response as an NDJSON line (the stream's chunk payload)."""
+    return json.dumps(payload).encode("utf-8") + b"\n"
+
+
+def iter_subbatches(items: Sequence[Any], chunk: int) -> Iterator[List[Any]]:
+    """Split a request list into flush-sized sub-batches, order-preserving."""
+    step = max(1, int(chunk))
+    for start in range(0, len(items), step):
+        yield list(items[start : start + step])
+
+
+class ChunkedWriter:
+    """Deadline-bounded chunked-transfer writer over an asyncio stream.
+
+    The caller writes whole chunks; every write awaits ``drain()`` under
+    ``write_timeout_s`` so a stalled client surfaces as
+    :class:`SlowReaderError` instead of unbounded buffering.  The bounded
+    transport buffer is set once at construction (idempotent with the
+    per-connection limit the gateway already applies).
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        write_timeout_s: float = 10.0,
+        buffer_limit: int = 256 * 1024,
+    ):
+        self._writer = writer
+        self.write_timeout_s = write_timeout_s
+        transport = getattr(writer, "transport", None)
+        if transport is not None:
+            transport.set_write_buffer_limits(high=buffer_limit)
+
+    async def write_chunk(self, data: bytes) -> None:
+        """Write one chunked-transfer frame under the write deadline."""
+        if data:
+            await drain_write(self._writer, encode_chunk(data), self.write_timeout_s)
+
+    async def finish(self) -> None:
+        """Write the terminal chunk that ends the streamed body."""
+        await drain_write(self._writer, LAST_CHUNK, self.write_timeout_s)

@@ -489,6 +489,20 @@ class WorkerPool:
 
     # -- stats --------------------------------------------------------------
 
+    @property
+    def pending(self) -> int:
+        """Requests submitted but not yet flushed (the front engine queue)."""
+        return self._front.pending
+
+    def measured_rates(self) -> List[float]:
+        """Per-worker EWMA service rates from the latest snapshots.
+
+        The admission layer aggregates these (``pool_drain_rps``) into the
+        drain estimate that sizes its in-flight token budget; 0.0 entries
+        mean "never measured".
+        """
+        return [s.service_rate_rps for s in self.last_snapshots]
+
     def stats_row(self) -> Dict[str, Any]:
         """Cumulative pool stats from the most recent flush's snapshots."""
         return {

@@ -19,11 +19,20 @@ Request lines (client → server)::
 requests through one pool flush — that is the high-throughput path, since
 the pool coalesces and cache-affinity-routes the whole set at once.
 
-The server accepts concurrent connections (one thread each); pool access is
-serialized behind a lock, so requests from different clients still batch
-through one dispatcher.  ``shutdown`` stops the accept loop, closes the
-pool's workers, and lets the process exit cleanly — CI drives 50 requests
-through this path and asserts exactly that.
+The server accepts concurrent connections (one thread each); all pool
+access goes through one shared
+:class:`~repro.runtime.gateway.admission.PoolService`, so requests from
+different clients still batch through one dispatcher, and — when the
+service carries an :class:`~repro.runtime.gateway.admission.\
+AdmissionController` — load beyond the measured token budget is shed with
+``{"ok": false, "code": 429, "retry_after_s": ...}`` envelopes instead of
+queueing unboundedly.  The same service object can back an
+:class:`~repro.runtime.gateway.http.HttpGateway` (``--http-port``), in
+which case both front-ends shed identically.  Per-connection socket
+timeouts (``--conn-timeout``) reap hung clients so a stalled connection
+cannot pin a handler thread forever.  ``shutdown`` stops the accept loop,
+closes the pool's workers, and lets the process exit cleanly — CI drives
+50 requests through this path and asserts exactly that.
 """
 
 from __future__ import annotations
@@ -35,9 +44,8 @@ import sys
 import threading
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.errors import ReproError
-from repro.runtime.engine import Request
-from repro.runtime.pool import POOL_MODES, PoolError, WorkerPool
+from repro.runtime.gateway.admission import AdmissionController, PoolService
+from repro.runtime.pool import POOL_MODES, WorkerPool
 from repro.sim.policies import POLICIES
 
 #: Bumped when a wire-visible field changes meaning.
@@ -45,16 +53,36 @@ PROTOCOL_VERSION = 1
 
 
 class RuntimeServer(socketserver.ThreadingTCPServer):
-    """Threaded NDJSON front door over one shared :class:`WorkerPool`."""
+    """Threaded NDJSON front door over one shared :class:`PoolService`."""
 
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address, pool: WorkerPool):
+    def __init__(
+        self,
+        address,
+        pool: Optional[WorkerPool] = None,
+        *,
+        service: Optional[PoolService] = None,
+        conn_timeout: Optional[float] = None,
+    ):
+        if (pool is None) == (service is None):
+            raise ValueError("pass exactly one of 'pool' or 'service'")
         super().__init__(address, _LineHandler)
-        self.pool = pool
-        self.pool_lock = threading.Lock()
-        self.served = 0
+        self.service = service if service is not None else PoolService(pool)
+        #: Per-connection socket timeout, seconds (None = never time out).
+        #: Applies to both reads and writes, so a hung *or* unreadably slow
+        #: client is reaped instead of pinning its handler thread.
+        self.conn_timeout = conn_timeout
+        self.service.on_failure(self.request_shutdown)
+
+    @property
+    def pool(self) -> WorkerPool:
+        return self.service.pool
+
+    @property
+    def served(self) -> int:
+        return self.service.served
 
     @property
     def endpoint(self) -> str:
@@ -62,49 +90,13 @@ class RuntimeServer(socketserver.ThreadingTCPServer):
         return f"{host}:{port}"
 
     def serve_payloads(self, payloads: Sequence[Any]) -> List[Dict[str, Any]]:
-        """Serve one client batch of JSON request payloads, order-preserving.
-
-        Malformed payloads become error envelopes without poisoning the
-        rest of the batch; valid ones go through one pool flush together.
-        """
-        slots: List[tuple] = []
-        with self.pool_lock:
-            try:
-                for payload in payloads:
-                    try:
-                        slots.append(
-                            ("id", self.pool.submit(Request.from_dict(payload)))
-                        )
-                    except (ReproError, TypeError, ValueError) as error:
-                        slots.append(("error", str(error)))
-                report = self.pool.flush()
-            except PoolError as error:
-                # A lost worker closed the pool; a server that can never
-                # serve again must exit (cleanly) so a supervisor restarts
-                # it, not linger as a listening zombie.  Clients still get
-                # an error envelope per request before the loop stops.
-                self.request_shutdown()
-                message = f"worker pool failed: {error}; server shutting down"
-                return [{"ok": False, "error": message} for _ in payloads]
-            self.served += len(payloads)
-        responses = {r.request_id: r for r in report.responses}
-        results: List[Dict[str, Any]] = []
-        for kind, value in slots:
-            if kind == "id":
-                results.append(responses[value].to_dict())
-            else:
-                results.append({"ok": False, "error": value})
-        return results
+        """Serve one client batch of JSON payloads (compat wrapper)."""
+        return self.service.serve_payloads(payloads).results
 
     def stats_payload(self) -> Dict[str, Any]:
-        with self.pool_lock:
-            return {
-                "ok": True,
-                "op": "stats",
-                "version": PROTOCOL_VERSION,
-                "served": self.served,
-                "pool": self.pool.stats_row(),
-            }
+        payload = self.service.stats_payload()
+        payload["version"] = PROTOCOL_VERSION
+        return payload
 
     def request_shutdown(self) -> None:
         # shutdown() blocks until serve_forever() exits, so it must run off
@@ -113,15 +105,29 @@ class RuntimeServer(socketserver.ThreadingTCPServer):
 
 
 class _LineHandler(socketserver.StreamRequestHandler):
-    """One connection: read JSON lines until EOF or shutdown."""
+    """One connection: read JSON lines until EOF, timeout, or shutdown."""
 
     server: RuntimeServer
+
+    def setup(self) -> None:
+        if self.server.conn_timeout is not None:
+            self.request.settimeout(self.server.conn_timeout)
+        super().setup()
 
     def _reply(self, payload: Dict[str, Any]) -> None:
         self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
         self.wfile.flush()
 
     def handle(self) -> None:
+        try:
+            self._serve_lines()
+        except (TimeoutError, OSError):
+            # An idle/hung client hit the connection timeout (or vanished);
+            # dropping the connection frees this handler thread.  Clients
+            # with half-written lines get a closed socket, not a reply.
+            return
+
+    def _serve_lines(self) -> None:
         for raw in self.rfile:
             line = raw.strip()
             if not line:
@@ -140,7 +146,8 @@ class _LineHandler(socketserver.StreamRequestHandler):
             elif op == "stats":
                 self._reply(self.server.stats_payload())
             elif op == "request":
-                self._reply(self.server.serve_payloads([payload])[0])
+                result = self.server.service.serve_payloads([payload])
+                self._reply(result.results[0])
             elif op == "batch":
                 requests = payload.get("requests")
                 if not isinstance(requests, list):
@@ -148,13 +155,22 @@ class _LineHandler(socketserver.StreamRequestHandler):
                         {"ok": False, "error": "'batch' needs a 'requests' list"}
                     )
                     continue
-                self._reply(
-                    {
-                        "ok": True,
-                        "op": "batch",
-                        "responses": self.server.serve_payloads(requests),
-                    }
-                )
+                result = self.server.service.serve_payloads(requests)
+                if result.shed:
+                    # One top-level envelope, exactly as the HTTP gateway
+                    # answers 429 for the whole batch.
+                    self._reply(
+                        {
+                            "ok": False,
+                            "error": result.results[0]["error"],
+                            "code": 429,
+                            "retry_after_s": result.retry_after_s,
+                            "requested": result.results[0].get("requested"),
+                            "limit": result.results[0].get("limit"),
+                        }
+                    )
+                    continue
+                self._reply({"ok": True, "op": "batch", "responses": result.results})
             elif op == "shutdown":
                 self._reply({"ok": True, "op": "shutdown"})
                 self.server.request_shutdown()
@@ -166,11 +182,20 @@ class _LineHandler(socketserver.StreamRequestHandler):
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.server",
-        description="Serve runtime requests over newline-delimited JSON/TCP.",
+        description="Serve runtime requests over newline-delimited JSON/TCP "
+        "(and optionally HTTP).",
     )
     parser.add_argument("--host", type=str, default="127.0.0.1")
     parser.add_argument(
         "--port", type=int, default=0, help="TCP port (0 picks a free one)"
+    )
+    parser.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="also serve HTTP on this port (0 picks a free one; omit to "
+        "serve NDJSON/TCP only).  The HTTP gateway shares the TCP "
+        "server's pool and admission controller",
     )
     parser.add_argument(
         "--workers", type=int, default=4, help="pool workers (default 4)"
@@ -192,6 +217,48 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-capacity", type=int, default=64)
     parser.add_argument("--result-cache", type=int, default=512)
     parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="fixed in-flight request budget; by default the budget is "
+        "derived from the pool's measured drain rate × --headroom",
+    )
+    parser.add_argument(
+        "--headroom",
+        type=float,
+        default=2.0,
+        help="seconds of measured drain the front door may hold in flight "
+        "before shedding with 429 (default 2.0; ignored with "
+        "--max-inflight)",
+    )
+    parser.add_argument(
+        "--no-admission",
+        action="store_true",
+        help="disable load shedding entirely (accept and queue unboundedly; "
+        "the pre-gateway behaviour, kept for comparisons)",
+    )
+    parser.add_argument(
+        "--conn-timeout",
+        type=float,
+        default=120.0,
+        help="per-connection socket read/write timeout in seconds; hung "
+        "clients are reaped after this long (default 120; <= 0 disables)",
+    )
+    parser.add_argument(
+        "--write-timeout",
+        type=float,
+        default=10.0,
+        help="HTTP gateway per-write drain deadline (slow readers are "
+        "dropped past it; default 10)",
+    )
+    parser.add_argument(
+        "--stream-chunk",
+        type=int,
+        default=1,
+        help="requests per pool flush on /v1/stream (default 1 = one "
+        "response on the wire per flush)",
+    )
     parser.add_argument(
         "--intra-batch-workers",
         type=int,
@@ -236,15 +303,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         disk_cache_dir=args.disk_cache,
         mp_context=args.mp_context,
     )
+    admission = None
+    if not args.no_admission:
+        admission = AdmissionController(
+            max_inflight=args.max_inflight, headroom=args.headroom
+        )
+    conn_timeout = args.conn_timeout if args.conn_timeout > 0 else None
+    gateway = None
     with pool:
-        server = RuntimeServer((args.host, args.port), pool)
+        service = PoolService(pool, admission)
+        server = RuntimeServer(
+            (args.host, args.port), service=service, conn_timeout=conn_timeout
+        )
         with server:
             # The one line launchers parse: host:port on stdout, flushed.
             print(f"runtime-server listening on {server.endpoint}", flush=True)
+            if args.http_port is not None:
+                from repro.runtime.gateway.http import HttpGateway
+
+                gateway = HttpGateway(
+                    service,
+                    host=args.host,
+                    port=args.http_port,
+                    # None (from --conn-timeout <= 0) disables idle reaping
+                    # on the HTTP side too, matching the NDJSON socket.
+                    idle_timeout_s=conn_timeout,
+                    write_timeout_s=args.write_timeout,
+                    stream_chunk=args.stream_chunk,
+                ).start()
+                print(
+                    f"runtime-server http listening on {gateway.endpoint}",
+                    flush=True,
+                )
             try:
                 server.serve_forever()
             except KeyboardInterrupt:
                 pass
+            finally:
+                if gateway is not None:
+                    gateway.close()
         print(
             f"runtime-server stopped after {server.served} requests",
             file=sys.stderr,

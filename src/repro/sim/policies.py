@@ -248,6 +248,19 @@ class ServiceRateEstimator:
         return self.rate
 
 
+def pool_drain_rps(rates: Sequence[float], default: float = 0.0) -> float:
+    """Aggregate per-worker service rates into one pool drain estimate.
+
+    The sum of the workers' measured EWMA rates (tasks/second) is the
+    pool's best-case drain rate — what the admission layer needs to size
+    its in-flight token budget.  Workers that have never been measured
+    (rate <= 0) contribute nothing; a pool with no measurements at all
+    falls back to ``default`` so a cold front door still has a budget.
+    """
+    total = sum(r for r in rates if r > 0.0)
+    return total if total > 0.0 else default
+
+
 def scales_from_rates(rates: Sequence[float],
                       default_scale: float = 1.0) -> List[float]:
     """Convert measured service rates into relative worker scales.

@@ -1,0 +1,402 @@
+"""HTTP gateway: protocol, streaming incrementality, backpressure parity."""
+
+import asyncio
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.runtime.gateway.admission import AdmissionController, PoolService
+from repro.runtime.gateway.http import GATEWAY_VERSION, HttpGateway
+from repro.runtime.gateway.streaming import (
+    ChunkedWriter,
+    SlowReaderError,
+    encode_chunk,
+    iter_subbatches,
+    ndjson_line,
+)
+from repro.runtime.pool import WorkerPool
+from repro.runtime.server import RuntimeServer
+
+
+@pytest.fixture()
+def gateway():
+    """A gateway over a fresh 2-worker inline pool, no admission."""
+    with WorkerPool(workers=2, mode="inline") as pool:
+        instance = HttpGateway(PoolService(pool), idle_timeout_s=30.0)
+        with instance:
+            yield instance
+
+
+def http_json(gateway, method, path, payload=None, timeout=30.0):
+    connection = http.client.HTTPConnection(
+        gateway.http_host, gateway.http_port, timeout=timeout
+    )
+    try:
+        body = None if payload is None else json.dumps(payload)
+        connection.request(
+            method, path, body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        headers = {k.lower(): v for k, v in response.getheaders()}
+        raw = response.read()
+        return response.status, headers, json.loads(raw) if raw else None
+    finally:
+        connection.close()
+
+
+class TestStreamingHelpers:
+    def test_encode_chunk_frames(self):
+        assert encode_chunk(b"hello") == b"5\r\nhello\r\n"
+        assert encode_chunk(b"x" * 16).startswith(b"10\r\n")
+
+    def test_ndjson_line(self):
+        assert ndjson_line({"ok": True}) == b'{"ok": true}\n'
+
+    def test_iter_subbatches(self):
+        assert list(iter_subbatches([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+        assert list(iter_subbatches([], 3)) == []
+        assert list(iter_subbatches([1, 2], 0)) == [[1], [2]]  # clamped to 1
+
+    def test_chunked_writer_drops_slow_readers(self):
+        class StalledWriter:
+            transport = None
+
+            def write(self, data):
+                pass
+
+            async def drain(self):
+                await asyncio.sleep(10)
+
+        async def scenario():
+            writer = ChunkedWriter(StalledWriter(), write_timeout_s=0.05)
+            await writer.write_chunk(b"data")
+
+        with pytest.raises(SlowReaderError):
+            asyncio.run(scenario())
+
+    def test_chunked_writer_writes_frames_then_terminator(self):
+        frames = []
+
+        class CollectingWriter:
+            transport = None
+
+            def write(self, data):
+                frames.append(data)
+
+            async def drain(self):
+                pass
+
+        async def scenario():
+            writer = ChunkedWriter(CollectingWriter(), write_timeout_s=1.0)
+            await writer.write_chunk(b"abc")
+            await writer.finish()
+
+        asyncio.run(scenario())
+        assert frames == [b"3\r\nabc\r\n", b"0\r\n\r\n"]
+
+
+class TestEndpoints:
+    def test_healthz(self, gateway):
+        status, _, payload = http_json(gateway, "GET", "/healthz")
+        assert status == 200
+        assert payload == {"ok": True, "version": GATEWAY_VERSION}
+
+    def test_single_request(self, gateway):
+        status, _, payload = http_json(
+            gateway, "POST", "/v1/request",
+            {"app": "search", "n_threads": 2, "seed": 0},
+        )
+        assert status == 200
+        assert payload["ok"] and payload["correct"]
+        assert payload["backend"] == "vrda"
+        assert payload["outputs"] is not None
+
+    def test_batch_preserves_order_and_isolates_bad_payloads(self, gateway):
+        status, _, payload = http_json(
+            gateway, "POST", "/v1/batch",
+            {"requests": [
+                {"app": "search", "n_threads": 2},
+                {"app": "no-such-app"},
+                {"bogus-field": 1},
+                {"app": "murmur3", "n_threads": 2, "backend": "gpu"},
+            ]},
+        )
+        assert status == 200 and payload["ok"]
+        replies = payload["responses"]
+        assert [r.get("ok") for r in replies] == [True, False, False, True]
+        assert "no-such-app" in replies[1]["error"]
+        assert "bogus-field" in replies[2]["error"]
+
+    def test_batch_accepts_a_bare_list(self, gateway):
+        status, _, payload = http_json(
+            gateway, "POST", "/v1/batch",
+            [{"app": "search", "n_threads": 2}] * 2,
+        )
+        assert status == 200
+        assert [r["ok"] for r in payload["responses"]] == [True, True]
+
+    def test_stats_reports_service_and_gateway_state(self, gateway):
+        http_json(gateway, "POST", "/v1/batch",
+                  {"requests": [{"app": "search", "n_threads": 2}] * 4})
+        status, _, stats = http_json(gateway, "GET", "/v1/stats")
+        assert status == 200 and stats["ok"]
+        assert stats["served"] == 4
+        assert stats["version"] == GATEWAY_VERSION
+        assert len(stats["pool"]["workers"]) == 2
+        assert stats["gateway"]["requests"] >= 2
+        assert "queue_wait_p99_s" in stats
+
+    def test_unknown_path_is_404(self, gateway):
+        status, _, payload = http_json(gateway, "GET", "/nope")
+        assert status == 404 and not payload["ok"]
+
+    def test_wrong_method_is_405(self, gateway):
+        status, _, payload = http_json(gateway, "GET", "/v1/request")
+        assert status == 405 and "POST" in payload["error"]
+
+    def test_bad_json_body_is_400(self, gateway):
+        connection = http.client.HTTPConnection(
+            gateway.http_host, gateway.http_port, timeout=30.0
+        )
+        try:
+            connection.request("POST", "/v1/request", body="{not json",
+                               headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            connection.close()
+        assert response.status == 400
+        assert "JSON" in payload["error"]
+
+    def test_oversized_body_is_413(self):
+        with WorkerPool(workers=1, mode="inline") as pool:
+            with HttpGateway(PoolService(pool), max_body_bytes=1024) as gw:
+                status, _, payload = http_json(
+                    gw, "POST", "/v1/batch",
+                    {"requests": [{"app": "search", "pad": "x" * 4096}]},
+                )
+        assert status == 413
+        assert "exceeds" in payload["error"]
+
+    def test_keep_alive_serves_many_requests_on_one_connection(self, gateway):
+        connection = http.client.HTTPConnection(
+            gateway.http_host, gateway.http_port, timeout=30.0
+        )
+        try:
+            for seed in range(3):
+                connection.request(
+                    "POST", "/v1/request",
+                    body=json.dumps(
+                        {"app": "search", "n_threads": 2, "seed": seed % 2}
+                    ),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["ok"]
+        finally:
+            connection.close()
+        assert gateway.counters["connections"] == 1
+
+
+def read_chunked_ndjson(sock_file):
+    """Read one chunked-transfer NDJSON body; yields (arrival_s, object)."""
+    while True:
+        size_line = sock_file.readline()
+        size = int(size_line.strip(), 16)
+        if size == 0:
+            sock_file.readline()  # trailing CRLF
+            return
+        data = sock_file.read(size)
+        sock_file.read(2)  # chunk CRLF
+        yield time.perf_counter(), json.loads(data)
+
+
+def raw_http_post(host, port, path, payload, timeout=30.0):
+    """POST over a raw socket; returns (sock, file, status, headers)."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    body = json.dumps(payload).encode("utf-8")
+    request = (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode("ascii") + body
+    sock.sendall(request)
+    handle = sock.makefile("rb")
+    status_line = handle.readline().decode("ascii")
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = handle.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return sock, handle, status, headers
+
+
+class TestStreaming:
+    def test_responses_arrive_incrementally(self):
+        """First streamed response lands before the batch completes."""
+        delay = 0.03
+        requests = [{"app": "search", "n_threads": 2, "seed": s % 2}
+                    for s in range(5)]
+        pool = WorkerPool(workers=2, mode="inline",
+                          service_delays=[delay, delay])
+        with pool:
+            with HttpGateway(PoolService(pool)) as gw:
+                sock, handle, status, headers = raw_http_post(
+                    gw.http_host, gw.http_port, "/v1/stream",
+                    {"requests": requests, "chunk": 1},
+                )
+                try:
+                    assert status == 200
+                    assert headers["transfer-encoding"] == "chunked"
+                    assert headers["content-type"] == "application/x-ndjson"
+                    arrivals = list(read_chunked_ndjson(handle))
+                finally:
+                    handle.close()
+                    sock.close()
+        assert len(arrivals) == len(requests)
+        assert all(obj["ok"] for _, obj in arrivals)
+        first_at, last_at = arrivals[0][0], arrivals[-1][0]
+        # Each per-request flush sleeps `delay`, so a stream that only
+        # flushed once would deliver everything in one burst; incremental
+        # flushing spreads arrivals over >= (n-1) x delay.
+        assert last_at - first_at >= 2 * delay
+
+    def test_stream_sheds_oversized_subbatches_inline(self):
+        requests = [{"app": "search", "n_threads": 2} for _ in range(4)]
+        with WorkerPool(workers=2, mode="inline") as pool:
+            service = PoolService(pool, AdmissionController(max_inflight=1))
+            with HttpGateway(service) as gw:
+                sock, handle, status, _ = raw_http_post(
+                    gw.http_host, gw.http_port, "/v1/stream",
+                    {"requests": requests, "chunk": 2},
+                )
+                try:
+                    assert status == 200
+                    replies = [obj for _, obj in read_chunked_ndjson(handle)]
+                finally:
+                    handle.close()
+                    sock.close()
+        # Sub-batches of 2 exceed the budget of 1: every line is a 429
+        # envelope with a retry hint, streamed rather than dropped.
+        assert len(replies) == 4
+        assert all(r["code"] == 429 for r in replies)
+        assert all(r["retry_after_s"] > 0 for r in replies)
+
+    def test_bad_chunk_value_is_400(self, gateway):
+        status, _, payload = http_json(
+            gateway, "POST", "/v1/stream",
+            {"requests": [{"app": "search"}], "chunk": -1},
+        )
+        assert status == 400 and "chunk" in payload["error"]
+
+
+class TestConnectionHygiene:
+    def test_idle_connections_are_reaped(self):
+        with WorkerPool(workers=1, mode="inline") as pool:
+            with HttpGateway(PoolService(pool), idle_timeout_s=0.3) as gw:
+                sock = socket.create_connection(
+                    (gw.http_host, gw.http_port), timeout=10.0
+                )
+                try:
+                    sock.settimeout(5.0)
+                    # Send nothing: the gateway must close on us.
+                    assert sock.recv(1) == b""
+                finally:
+                    sock.close()
+                deadline = time.time() + 2.0
+                while gw.counters["idle_reaped"] == 0 and time.time() < deadline:
+                    time.sleep(0.01)
+                assert gw.counters["idle_reaped"] >= 1
+
+    def test_http10_defaults_to_connection_close(self):
+        with WorkerPool(workers=1, mode="inline") as pool:
+            with HttpGateway(PoolService(pool)) as gw:
+                sock = socket.create_connection(
+                    (gw.http_host, gw.http_port), timeout=10.0
+                )
+                try:
+                    sock.sendall(b"GET /healthz HTTP/1.0\r\n\r\n")
+                    sock.settimeout(5.0)
+                    handle = sock.makefile("rb")
+                    response = handle.read()  # EOF: the server closed on us
+                finally:
+                    sock.close()
+        assert b" 200 " in response.split(b"\r\n", 1)[0]
+        assert b"Connection: close" in response
+
+    def test_internal_errors_answer_500_instead_of_dropping(self):
+        with WorkerPool(workers=1, mode="inline") as pool:
+            service = PoolService(pool)
+            with HttpGateway(service) as gw:
+                def explode():
+                    raise RuntimeError("stats blew up")
+
+                service.stats_payload = explode
+                status, _, payload = http_json(gw, "GET", "/v1/stats")
+                assert status == 500
+                assert "internal error" in payload["error"]
+                assert gw.counters["internal_errors"] == 1
+                # The gateway survives: the next connection still serves.
+                status, _, payload = http_json(gw, "GET", "/healthz")
+                assert status == 200 and payload["ok"]
+
+    def test_malformed_request_line_is_400_and_closes(self):
+        with WorkerPool(workers=1, mode="inline") as pool:
+            with HttpGateway(PoolService(pool)) as gw:
+                sock = socket.create_connection(
+                    (gw.http_host, gw.http_port), timeout=10.0
+                )
+                try:
+                    sock.sendall(b"NOT-HTTP\r\n\r\n")
+                    handle = sock.makefile("rb")
+                    status_line = handle.readline().decode("ascii")
+                    assert " 400 " in status_line
+                    rest = handle.read()  # server closes after the error
+                    assert b"malformed request line" in rest
+                finally:
+                    sock.close()
+
+
+class TestBackpressureParity:
+    """Both front-ends share one controller and shed identically."""
+
+    def test_ndjson_and_http_shed_from_one_budget(self):
+        from repro.runtime.client import RuntimeClient
+
+        controller = AdmissionController(max_inflight=0)
+        pool = WorkerPool(workers=2, mode="inline")
+        with pool:
+            service = PoolService(pool, controller)
+            server = RuntimeServer(("127.0.0.1", 0), service=service)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                with HttpGateway(service) as gw:
+                    status, headers, http_reply = http_json(
+                        gw, "POST", "/v1/request",
+                        {"app": "search", "n_threads": 2},
+                    )
+                    host, port = server.server_address[:2]
+                    with RuntimeClient(host, port, timeout=30.0) as client:
+                        tcp_reply = client.request(app="search", n_threads=2)
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=10)
+        assert status == 429
+        assert "retry-after" in headers
+        assert http_reply["code"] == 429
+        assert tcp_reply["code"] == 429
+        assert tcp_reply["retry_after_s"] > 0
+        # One shared controller counted both front doors' rejections.
+        assert controller.snapshot().rejected == 2

@@ -3,6 +3,7 @@
 import json
 import socket
 import threading
+import time
 
 import pytest
 
@@ -141,4 +142,168 @@ class TestProtocol:
         server.shutdown()
         server.server_close()
         with pytest.raises(ClientError):
-            RuntimeClient(host, port, timeout=5.0).ping()
+            RuntimeClient(host, port, timeout=5.0, connect_timeout=5.0).ping()
+
+
+class TestConnectionTimeouts:
+    def test_hung_client_is_reaped_and_leaks_no_handler_thread(self):
+        """A client that connects and never writes must not pin a thread."""
+        pool = WorkerPool(workers=1, mode="inline")
+        with pool:
+            instance = RuntimeServer(("127.0.0.1", 0), pool, conn_timeout=0.3)
+            thread = threading.Thread(target=instance.serve_forever, daemon=True)
+            thread.start()
+            try:
+                host, port = instance.server_address[:2]
+                baseline = threading.active_count()
+                hung = socket.create_connection((host, port), timeout=10.0)
+                try:
+                    hung.settimeout(5.0)
+                    # The server reaps us after conn_timeout: EOF, no reply.
+                    assert hung.recv(1) == b""
+                finally:
+                    hung.close()
+                deadline = time.time() + 5.0
+                while threading.active_count() > baseline and time.time() < deadline:
+                    time.sleep(0.02)
+                assert threading.active_count() <= baseline
+                # The server still serves fresh connections afterwards.
+                with RuntimeClient(host, port, timeout=30.0) as client:
+                    assert client.ping()["ok"]
+            finally:
+                instance.shutdown()
+                instance.server_close()
+                thread.join(timeout=10)
+
+    def test_half_written_line_is_also_reaped(self):
+        pool = WorkerPool(workers=1, mode="inline")
+        with pool:
+            instance = RuntimeServer(("127.0.0.1", 0), pool, conn_timeout=0.3)
+            thread = threading.Thread(target=instance.serve_forever, daemon=True)
+            thread.start()
+            try:
+                host, port = instance.server_address[:2]
+                hung = socket.create_connection((host, port), timeout=10.0)
+                try:
+                    hung.sendall(b'{"op": "ping"')  # no newline, ever
+                    hung.settimeout(5.0)
+                    assert hung.recv(1) == b""
+                finally:
+                    hung.close()
+            finally:
+                instance.shutdown()
+                instance.server_close()
+                thread.join(timeout=10)
+
+
+class TestBackpressure:
+    def make_server(self, controller):
+        from repro.runtime.gateway.admission import PoolService
+
+        pool = WorkerPool(workers=2, mode="inline")
+        service = PoolService(pool, controller)
+        instance = RuntimeServer(("127.0.0.1", 0), service=service)
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        return pool, instance, thread
+
+    def teardown_server(self, pool, instance, thread):
+        instance.shutdown()
+        instance.server_close()
+        thread.join(timeout=10)
+        pool.close()
+
+    def test_shed_single_request_gets_429_envelope(self):
+        from repro.runtime.gateway.admission import AdmissionController
+
+        controller = AdmissionController(max_inflight=0)
+        pool, instance, thread = self.make_server(controller)
+        try:
+            with connect(instance) as client:
+                reply = client.request(app="search", n_threads=2)
+        finally:
+            self.teardown_server(pool, instance, thread)
+        assert not reply["ok"]
+        assert reply["code"] == 429
+        assert reply["retry_after_s"] > 0
+
+    def test_shed_batch_gets_top_level_429_and_client_raises(self):
+        from repro.runtime.client import OverloadedError
+        from repro.runtime.gateway.admission import AdmissionController
+
+        controller = AdmissionController(max_inflight=0)
+        pool, instance, thread = self.make_server(controller)
+        try:
+            with connect(instance) as client:
+                with pytest.raises(OverloadedError) as excinfo:
+                    client.batch([{"app": "search", "n_threads": 2}] * 3)
+        finally:
+            self.teardown_server(pool, instance, thread)
+        assert excinfo.value.retry_after_s > 0
+
+    def test_client_backoff_honors_retry_after_and_recovers(self):
+        """Retries sleep the server's hint; succeed once capacity frees."""
+        from repro.runtime.gateway.admission import AdmissionController
+
+        controller = AdmissionController(max_inflight=1)
+        assert controller.try_acquire(1).admitted  # budget fully occupied
+        pool, instance, thread = self.make_server(controller)
+        sleeps = []
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            controller.release(1)  # capacity opens up before the retry
+
+        try:
+            host, port = instance.server_address[:2]
+            with RuntimeClient(
+                host, port, timeout=30.0,
+                max_retries_429=3, sleep=fake_sleep,
+            ) as client:
+                reply = client.request(app="search", n_threads=2)
+        finally:
+            self.teardown_server(pool, instance, thread)
+        assert reply["ok"]
+        assert len(sleeps) == 1  # one shed round-trip, then success
+        assert sleeps[0] > 0
+
+    def test_never_admittable_batch_fails_fast_without_retrying(self):
+        """A batch larger than the whole budget is not worth re-sending."""
+        from repro.runtime.client import OverloadedError
+        from repro.runtime.gateway.admission import AdmissionController
+
+        controller = AdmissionController(max_inflight=2)
+        pool, instance, thread = self.make_server(controller)
+        sleeps = []
+        try:
+            host, port = instance.server_address[:2]
+            with RuntimeClient(
+                host, port, timeout=30.0,
+                max_retries_429=5, sleep=sleeps.append,
+            ) as client:
+                with pytest.raises(OverloadedError):
+                    client.batch([{"app": "search", "n_threads": 2}] * 5)
+        finally:
+            self.teardown_server(pool, instance, thread)
+        assert sleeps == []  # retrying 5 > 2 can never succeed: no backoff
+        assert controller.snapshot().rejected == 5  # one attempt, not six
+
+    def test_retry_budget_exhaustion_surfaces_the_envelope(self):
+        from repro.runtime.gateway.admission import AdmissionController
+
+        controller = AdmissionController(max_inflight=1)
+        assert controller.try_acquire(1).admitted  # held for the whole test
+        pool, instance, thread = self.make_server(controller)
+        sleeps = []
+        try:
+            host, port = instance.server_address[:2]
+            with RuntimeClient(
+                host, port, timeout=30.0,
+                max_retries_429=2, sleep=sleeps.append,
+            ) as client:
+                reply = client.request(app="search", n_threads=2)
+        finally:
+            self.teardown_server(pool, instance, thread)
+        assert reply["code"] == 429
+        assert len(sleeps) == 2  # bounded: exactly the retry budget
+        assert controller.snapshot().rejected == 3
