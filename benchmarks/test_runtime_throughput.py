@@ -8,6 +8,13 @@ A 100-request trace over a small repeated app set is replayed twice:
   served from the content-addressed caches.
 
 The warm tier must sustain at least 5x the cold requests/sec.
+
+A second experiment isolates the functional executor itself: the same
+trace shape at an execution-heavy thread count, result caching off (every
+request executes), compile amortized by the program cache — once with the
+per-token interpreter and once with the columnar numpy backend.  The
+columnar executor must sustain at least 3x the token requests/sec; both
+runs' responses are asserted identical before timing counts.
 """
 
 import gc
@@ -85,3 +92,70 @@ def test_runtime_throughput_cold_vs_warm(benchmark):
         "program_cache_hit_rate": round(stats.hit_rate, 4),
     })
     assert warm_rps >= 5 * cold_rps
+
+
+# Execution-heavy shape: at 128 threads per instance the functional run
+# dominates the ~3 ms compile (which the program cache amortizes anyway),
+# so this measures the interpreter, not the compiler.  Width matters: the
+# token interpreter costs O(threads) Python bytecode per node firing while
+# the columnar backend costs O(1) numpy calls, so the ratio grows with
+# thread count (~2.8x at 48 threads, ~5.6x at 128).
+EXEC_TRACE = TraceConfig(
+    size=36,
+    apps=["murmur3", "ip2int", "isipv4"],
+    backend_mix={"vrda": 1.0},
+    distinct_shapes=2,
+    n_threads=128,
+    seed=11,
+)
+
+
+def _exec_cold_rps(executor: str):
+    """Requests/sec with every request fully executed on ``executor``.
+
+    Result caching is off (the cold path: no response is ever replayed);
+    the program cache stays on so both executors pay the same amortized
+    compile cost and the ratio isolates functional execution.
+    """
+    engine = Engine(result_cache_capacity=0, executor=executor)
+    requests = synthetic_trace(EXEC_TRACE)
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        responses = engine.process(requests)
+        elapsed = time.perf_counter() - started
+    finally:
+        gc.enable()
+    assert len(responses) == EXEC_TRACE.size
+    assert all(r.ok and r.correct for r in responses)
+    payload = [r.to_dict() for r in responses]
+    return EXEC_TRACE.size / max(elapsed, 1e-9), payload
+
+
+def test_columnar_vs_token_cold_execution(benchmark):
+    token_rps, token_payload = max(
+        (_exec_cold_rps("token") for _ in range(2)), key=lambda t: t[0])
+    columnar_rps, columnar_payload = run_once(
+        benchmark, lambda: max((_exec_cold_rps("columnar") for _ in range(2)),
+                               key=lambda t: t[0]))
+
+    # Bit-identity first: a fast wrong executor is not a speedup.
+    assert columnar_payload == token_payload
+
+    speedup = columnar_rps / token_rps
+    rows = [
+        {"executor": "token", "requests_per_s": round(token_rps, 1)},
+        {"executor": "columnar", "requests_per_s": round(columnar_rps, 1)},
+        {"executor": "speedup", "requests_per_s": f"{speedup:.1f}x"},
+    ]
+    print("\n" + format_rows(rows))
+    record_bench("columnar", {
+        "trace_requests": EXEC_TRACE.size,
+        "apps": list(EXEC_TRACE.apps),
+        "n_threads": EXEC_TRACE.n_threads,
+        "token_requests_per_s": round(token_rps, 1),
+        "columnar_requests_per_s": round(columnar_rps, 1),
+        "speedup": round(speedup, 2),
+    })
+    assert speedup >= 3.0  # CI guard: the columnar backend must stay >=3x

@@ -1,0 +1,1782 @@
+"""Vectorized columnar executor backend.
+
+The token executor (:class:`repro.core.executor.Executor`) pushes Python
+``Data``/``Barrier`` objects through the graph one token at a time.  This
+module executes the same :class:`~repro.core.executor.NodeSchedule` plan
+over *columns*: each SLTF link is represented as
+
+* ``tags`` — one ``uint8`` per token position: ``0`` for a data element,
+  ``level`` (1..15) for a barrier, and
+* ``values`` — the data elements only, compacted into one numpy array
+  (``int64`` when every element is a Python int that fits, ``object``
+  otherwise), plus
+* ``lo``/``hi`` — exact Python-int bounds on the ``int64`` values, used to
+  prove per-opcode overflow safety before running a whole-array op.
+
+Parallel live-value streams of one thread bundle share the *same* ``tags``
+array object, so alignment checks are identity comparisons on the happy
+path.  Straight-line (non-``while``) regions run as whole-array numpy ops.
+
+``while`` regions have two drain strategies.  The default mirrors the
+token executor's per-barrier-group drain loop (condition → boolean-mask
+partition → emit exiting rows → body → recirculate) but runs each turn's
+condition/body columnar over the group's still-live rows.  When several
+groups carry rows and the loop's regions contain only provably
+group-independent ops (compute/const/memory traffic/if/while — see
+``_WHILE_VECTOR_OPS``), the drain instead runs all groups in *lockstep*:
+one condition/body evaluation per global turn over every live row at once.
+Lockstep turns are transactional: memory traffic is buffered in a
+``_ShadowMemory`` overlay that tracks the owning group of every read and
+write, and any cross-group hazard (or any error at all) aborts the attempt
+— nothing real was touched — and the drain silently re-runs per-group,
+reproducing token behaviour exactly, including partial state on error.
+On success the overlay commits and per-node firing counts are compensated
+so the profile is indistinguishable from the sequential drain.
+
+Bit-identity contract
+---------------------
+
+A columnar run must be indistinguishable from a token run: identical
+output streams, identical memory contents and :class:`MemoryStats`
+counters, identical profile counts (``node_firings``, ``loop_iterations``,
+link histograms), and identical exception types/messages on malformed
+input.  Whenever the vectorized path cannot prove it preserves exact
+Python semantics (possible int64 overflow, non-int values, misaligned
+structures, zero divisors), it falls back per node to the token primitive
+— correctness never depends on the fast path firing.
+
+``numpy`` is an optional dependency: when it is missing this module still
+imports, :data:`HAVE_NUMPY` is False, and :func:`resolve_executor` maps
+``"auto"`` to the token executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - import gate, exercised by resolve_executor tests
+    import numpy as np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    np = None
+
+from repro.core import primitives as prim
+from repro.core.executor import (
+    ExecutionProfile,
+    Executor,
+    LinkProfile,
+    _as_stream,
+    _resolve_fn,
+    _resolve_reduce,
+    zip_streams,
+    unzip_stream,
+)
+from repro.core.graph import DFGraph, DFNode
+from repro.core.memory import MemoryStats, MemorySystem
+from repro.core.sltf import MAX_BARRIER_LEVEL, Barrier, Data, Stream
+from repro.errors import GraphError, PrimitiveError
+
+#: True when numpy imported and the columnar executor is usable.
+HAVE_NUMPY = np is not None
+
+#: Valid values for every ``executor=`` switch in the stack.
+EXECUTOR_CHOICES = ("auto", "columnar", "token")
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def default_executor() -> str:
+    """The executor ``"auto"`` resolves to on this interpreter."""
+    return "columnar" if HAVE_NUMPY else "token"
+
+
+def resolve_executor(name: Optional[str]) -> str:
+    """Validate an ``executor=`` switch and resolve ``"auto"``/``None``.
+
+    Raises ``ValueError`` for unknown names and ``RuntimeError`` when
+    ``"columnar"`` is requested explicitly but numpy is unavailable
+    (``"auto"`` degrades to ``"token"`` silently instead).
+    """
+    if name is None or name == "auto":
+        return default_executor()
+    if name not in EXECUTOR_CHOICES:
+        raise ValueError(
+            f"unknown executor {name!r}; choose one of {EXECUTOR_CHOICES}"
+        )
+    if name == "columnar" and not HAVE_NUMPY:
+        raise RuntimeError(
+            "executor='columnar' requires numpy; install numpy or use "
+            "executor='auto' to fall back to the token executor"
+        )
+    return name
+
+
+def make_executor(graph: DFGraph, *, executor: Optional[str] = None, **kwargs):
+    """Build the requested executor (``auto``/``columnar``/``token``)."""
+    name = resolve_executor(executor)
+    cls = ColumnarExecutor if name == "columnar" else Executor
+    return cls(graph, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Column representation
+# ---------------------------------------------------------------------------
+
+
+class Column:
+    """One SLTF link as (tags, values) arrays.
+
+    ``tags[j] == 0`` marks a data element, ``tags[j] == level`` a barrier.
+    ``values`` holds the data elements only, in stream order.  Columns are
+    immutable by convention (every handler builds fresh arrays or shares
+    inputs); aligned columns of one bundle share the same ``tags`` object.
+    ``lo``/``hi`` are valid (not necessarily tight) Python-int bounds for
+    ``int64`` values and ``None`` for ``object`` columns.
+    """
+
+    __slots__ = ("tags", "values", "lo", "hi")
+
+    def __init__(self, tags, values, lo=None, hi=None):
+        self.tags = tags
+        self.values = values
+        self.lo = lo
+        self.hi = hi
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+    @property
+    def n_data(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Column({len(self.values)}d/{len(self.tags)}t)"
+
+
+def _values_from_list(vals: list) -> Tuple[Any, Optional[int], Optional[int]]:
+    """Pack Python values into an array, choosing int64 when exact."""
+    for v in vals:
+        if type(v) is not int:
+            arr = np.empty(len(vals), dtype=object)
+            arr[:] = vals
+            return arr, None, None
+    if not vals:
+        return np.empty(0, dtype=np.int64), 0, 0
+    lo, hi = min(vals), max(vals)
+    if _INT64_MIN <= lo and hi <= _INT64_MAX:
+        return np.array(vals, dtype=np.int64), lo, hi
+    arr = np.empty(len(vals), dtype=object)
+    arr[:] = vals
+    return arr, None, None
+
+
+def _bounds_of(values) -> Tuple[Optional[int], Optional[int]]:
+    if values.dtype == object:
+        return None, None
+    if values.size == 0:
+        return 0, 0
+    return int(values.min()), int(values.max())
+
+
+def _values_from_ints(vals: list) -> Tuple[Any, Optional[int], Optional[int]]:
+    """Pack values known to be Python ints (memory reads) into an array.
+
+    Same contract as :func:`_values_from_list` minus the per-element type
+    scan — every value a :class:`MemorySystem` hands back went through
+    ``int()`` on the way in.
+    """
+    if not vals:
+        return np.empty(0, dtype=np.int64), 0, 0
+    lo, hi = min(vals), max(vals)
+    if _INT64_MIN <= lo and hi <= _INT64_MAX:
+        return np.array(vals, dtype=np.int64), lo, hi
+    arr = np.empty(len(vals), dtype=object)
+    arr[:] = vals
+    return arr, None, None
+
+
+def from_stream(stream: Sequence) -> "Column":
+    """Convert a token stream into a :class:`Column`."""
+    n = len(stream)
+    tags = np.zeros(n, dtype=np.uint8)
+    vals: list = []
+    append = vals.append
+    for j, tok in enumerate(stream):
+        if isinstance(tok, Data):
+            append(tok.value)
+        else:
+            tags[j] = tok.level
+    values, lo, hi = _values_from_list(vals)
+    return Column(tags, values, lo, hi)
+
+
+def to_stream(col: "Column") -> Stream:
+    """Convert a :class:`Column` back into a token stream.
+
+    ``ndarray.tolist()`` yields Python ints for ``int64`` values, so no
+    numpy scalar ever leaks into a stream (or, downstream, into JSON).
+    """
+    out: Stream = []
+    append = out.append
+    vals = iter(col.values.tolist())
+    for t in col.tags.tolist():
+        append(Data(next(vals)) if t == 0 else Barrier(t))
+    return out
+
+
+def _align(cols: Sequence["Column"]) -> bool:
+    """True when every column shares one structure.
+
+    Canonicalizes equal-content tag arrays onto one shared object so later
+    checks on the same bundle are identity-fast.
+    """
+    t0 = cols[0].tags
+    for c in cols[1:]:
+        t = c.tags
+        if t is t0:
+            continue
+        if t.shape != t0.shape or not np.array_equal(t, t0):
+            return False
+        c.tags = t0
+    return True
+
+
+def _truthy(values) -> Any:
+    """Boolean mask over data values matching Python truthiness."""
+    if values.dtype == object:
+        return np.fromiter(
+            (bool(v) for v in values.tolist()), dtype=bool, count=len(values)
+        )
+    return values != 0
+
+
+def _token_at(col: "Column", j: int):
+    """Reconstruct the token at stream position ``j`` (error paths only)."""
+    tag = int(col.tags[j])
+    if tag:
+        return Barrier(tag)
+    k = int(np.count_nonzero(col.tags[:j] == 0))
+    v = col.values[k]
+    return Data(v if col.values.dtype == object else int(v))
+
+
+# ---------------------------------------------------------------------------
+# Shadow memory for the cross-group vectorized while drain
+# ---------------------------------------------------------------------------
+
+
+class _VectorAbort(Exception):
+    """Internal: the lockstep while drain cannot preserve token semantics.
+
+    Raised on any cross-group memory conflict (or structural surprise) while
+    draining every barrier group of a ``while`` in lockstep.  Never escapes
+    :meth:`ColumnarExecutor._try_while_vectorized`: the attempt is discarded
+    and the per-group reference drain reruns from untouched real state.
+    """
+
+
+#: ``readers[key]`` sentinel: more than one group has read this location.
+_FOREIGN = -1
+
+
+class _ShadowMemory:
+    """Write-buffering overlay that makes the lockstep drain transactional.
+
+    The token executor drains ``while`` barrier groups *sequentially*, so
+    group ``g`` observes every memory write groups ``0..g-1`` made.  The
+    lockstep drain runs all groups together, which is only equivalent when
+    no location is shared across groups.  This overlay proves that as it
+    goes: all writes are buffered here (real memory is never touched), every
+    access is attributed to its owning group, and any cross-group overlap
+    that could change an observed value raises :class:`_VectorAbort`:
+
+    * read of another group's buffered write (stale-value hazard),
+    * write to a location some other group has read (ordering hazard),
+    * write to a location another group has written (lost-write hazard).
+
+    Traffic counters accumulate into a scratch :class:`MemoryStats` —
+    they are pure sums, so lockstep order cannot change the totals.  On
+    success :meth:`commit` applies the buffered writes and counter deltas
+    to the real memory system; on abort the overlay is simply dropped.
+    """
+
+    __slots__ = ("memory", "stats", "writes", "readers", "touched_sites",
+                 "current_groups")
+
+    def __init__(self, memory: MemorySystem):
+        self.memory = memory
+        self.stats = MemoryStats()
+        #: ("s", site, addr) | ("d", addr) -> (value, owning group id)
+        self.writes: Dict[tuple, tuple] = {}
+        #: same keys -> sole reading group id, or _FOREIGN once shared
+        self.readers: Dict[tuple, int] = {}
+        #: sites touched (insertion-ordered), created for real on commit
+        self.touched_sites: Dict[str, bool] = {}
+        #: maps local barrier-group index (within the bundle the regions
+        #: currently see) to a global group id; maintained per lockstep turn
+        self.current_groups: List[int] = []
+
+    def _note_read(self, key: tuple, gid: int) -> None:
+        r = self.readers.get(key)
+        if r is None:
+            self.readers[key] = gid
+        elif r != gid:
+            self.readers[key] = _FOREIGN
+
+    # -- SRAM ----------------------------------------------------------------
+
+    def sram_read_many(self, site_name, addrs, gids) -> List[int]:
+        self.touched_sites[site_name] = True
+        site = self.memory._sites.get(site_name)
+        storage = site.storage if site is not None else {}
+        writes = self.writes
+        out: List[int] = []
+        for addr, gid in zip(addrs, gids):
+            key = ("s", site_name, int(addr))
+            w = writes.get(key)
+            if w is not None:
+                if w[1] != gid:
+                    raise _VectorAbort
+                out.append(w[0])
+            else:
+                out.append(storage.get(key[2], 0))
+            self._note_read(key, gid)
+        self.stats.sram_reads += len(out)
+        return out
+
+    def sram_write_many(self, site_name, addrs, values, gids) -> None:
+        self.touched_sites[site_name] = True
+        writes, readers = self.writes, self.readers
+        n = 0
+        for addr, value, gid in zip(addrs, values, gids):
+            key = ("s", site_name, int(addr))
+            r = readers.get(key)
+            if r is not None and r != gid:
+                raise _VectorAbort
+            w = writes.get(key)
+            if w is not None and w[1] != gid:
+                raise _VectorAbort
+            writes[key] = (int(value), gid)
+            n += 1
+        self.stats.sram_writes += n
+
+    # -- DRAM ----------------------------------------------------------------
+
+    def dram_read_many(self, addrs, gids) -> List[int]:
+        mem = self.memory
+        dram = mem._dram
+        bytes_at = mem._element_bytes_at
+        writes = self.writes
+        out: List[int] = []
+        total_bytes = 0
+        for addr, gid in zip(addrs, gids):
+            addr = int(addr)
+            key = ("d", addr)
+            total_bytes += bytes_at(addr)
+            w = writes.get(key)
+            if w is not None:
+                if w[1] != gid:
+                    raise _VectorAbort
+                out.append(w[0])
+            else:
+                out.append(dram.get(addr, 0))
+            self._note_read(key, gid)
+        self.stats.dram_reads += len(out)
+        self.stats.dram_random_reads += len(out)
+        self.stats.dram_read_bytes += total_bytes
+        return out
+
+    def dram_write_many(self, addrs, values, gids) -> None:
+        bytes_at = self.memory._element_bytes_at
+        writes, readers = self.writes, self.readers
+        total_bytes = 0
+        n = 0
+        for addr, value, gid in zip(addrs, values, gids):
+            addr = int(addr)
+            key = ("d", addr)
+            total_bytes += bytes_at(addr)
+            r = readers.get(key)
+            if r is not None and r != gid:
+                raise _VectorAbort
+            w = writes.get(key)
+            if w is not None and w[1] != gid:
+                raise _VectorAbort
+            writes[key] = (int(value), gid)
+            n += 1
+        self.stats.dram_writes += n
+        self.stats.dram_random_writes += n
+        self.stats.dram_write_bytes += total_bytes
+
+    # -- tile transfers -------------------------------------------------------
+
+    def bulk_load_many(self, site_name, dram_bases, sram_bases, size, gids):
+        self.touched_sites[site_name] = True
+        mem = self.memory
+        dram = mem._dram
+        writes, readers = self.writes, self.readers
+        stats = self.stats
+        for db, sb, gid in zip(dram_bases, sram_bases, gids):
+            db, sb = int(db), int(sb)
+            stats.bulk_loads += 1
+            stats.dram_reads += size
+            stats.dram_read_bytes += size * mem._element_bytes_at(db)
+            for i in range(size):
+                dkey = ("d", db + i)
+                w = writes.get(dkey)
+                if w is not None:
+                    if w[1] != gid:
+                        raise _VectorAbort
+                    v = w[0]
+                else:
+                    v = dram.get(db + i, 0)
+                self._note_read(dkey, gid)
+                skey = ("s", site_name, sb + i)
+                r = readers.get(skey)
+                if r is not None and r != gid:
+                    raise _VectorAbort
+                sw = writes.get(skey)
+                if sw is not None and sw[1] != gid:
+                    raise _VectorAbort
+                writes[skey] = (v, gid)
+
+    def bulk_store_many(self, site_name, dram_bases, sram_bases, size, gids):
+        for db, sb, gid in zip(dram_bases, sram_bases, gids):
+            self._bulk_store_one(site_name, int(db), int(sb), size, gid)
+
+    def bulk_store_counted_many(
+        self, site_name, dram_bases, sram_bases, sizes, gids
+    ):
+        for db, sb, n, gid in zip(dram_bases, sram_bases, sizes, gids):
+            self._bulk_store_one(site_name, int(db), int(sb), n, gid)
+
+    def _bulk_store_one(self, site_name, db, sb, size, gid) -> None:
+        self.touched_sites[site_name] = True
+        mem = self.memory
+        site = mem._sites.get(site_name)
+        storage = site.storage if site is not None else {}
+        writes, readers = self.writes, self.readers
+        stats = self.stats
+        stats.bulk_stores += 1
+        stats.dram_writes += size
+        stats.dram_write_bytes += size * mem._element_bytes_at(db)
+        for i in range(size):
+            skey = ("s", site_name, sb + i)
+            w = writes.get(skey)
+            if w is not None:
+                if w[1] != gid:
+                    raise _VectorAbort
+                v = w[0]
+            else:
+                v = storage.get(sb + i, 0)
+            self._note_read(skey, gid)
+            dkey = ("d", db + i)
+            r = readers.get(dkey)
+            if r is not None and r != gid:
+                raise _VectorAbort
+            dw = writes.get(dkey)
+            if dw is not None and dw[1] != gid:
+                raise _VectorAbort
+            writes[dkey] = (v, gid)
+
+    # -- outcome --------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Apply buffered writes and counter deltas to the real memory.
+
+        Only called after the whole drain succeeded; insertion order of
+        ``writes``/``touched_sites`` reproduces first-touch order, so the
+        resulting memory state (including which sites exist) is identical
+        to the sequential per-group drain.
+        """
+        mem = self.memory
+        for name in self.touched_sites:
+            mem.site(name)
+        dram = mem._dram
+        sites = mem._sites
+        for key, (value, _gid) in self.writes.items():
+            if key[0] == "d":
+                dram[key[1]] = value
+            else:
+                sites[key[1]].storage[key[2]] = value
+        stats = mem.stats
+        for name, add in vars(self.stats).items():
+            if add:
+                setattr(stats, name, getattr(stats, name) + add)
+
+
+def _group_tags(rowcounts) -> Any:
+    """Tags array for ``rowcounts[i]`` data rows + one level-1 barrier each."""
+    total = int(rowcounts.sum()) + len(rowcounts)
+    tags = np.zeros(total, np.uint8)
+    if len(rowcounts):
+        tags[np.cumsum(rowcounts + 1) - 1] = 1
+    return tags
+
+
+def _group_data_counts(tags) -> Any:
+    """Data rows per barrier group (rows after the last barrier excluded)."""
+    bpos = np.nonzero(tags)[0]
+    if not bpos.size:
+        return np.zeros(0, np.int64)
+    return _counts_at((tags == 0).cumsum(), bpos)
+
+
+def _counts_at(dcum, bpos) -> Any:
+    """Per-group data counts from a data-cumsum and barrier positions."""
+    d = dcum[bpos]
+    counts = d.copy()
+    counts[1:] -= d[:-1]
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Vectorized compute opcodes with exact-overflow bounds checks
+# ---------------------------------------------------------------------------
+
+
+def _fits(lo: int, hi: int) -> bool:
+    return _INT64_MIN <= lo and hi <= _INT64_MAX
+
+
+def _bit_bounds(*extremes: int) -> Tuple[int, int]:
+    """Bounds for a two's-complement bitwise result over bounded inputs."""
+    k = min(max(abs(v).bit_length() for v in extremes), 63)
+    if all(v >= 0 for v in extremes):
+        return 0, (1 << k) - 1
+    return -(1 << k), (1 << k) - 1
+
+
+def _vec_add(cols):
+    a, b = cols
+    lo, hi = a.lo + b.lo, a.hi + b.hi
+    if not _fits(lo, hi):
+        return None
+    return a.values + b.values, lo, hi
+
+
+def _vec_sub(cols):
+    a, b = cols
+    lo, hi = a.lo - b.hi, a.hi - b.lo
+    if not _fits(lo, hi):
+        return None
+    return a.values - b.values, lo, hi
+
+
+def _vec_mul(cols):
+    a, b = cols
+    corners = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+    lo, hi = min(corners), max(corners)
+    if not _fits(lo, hi):
+        return None
+    return a.values * b.values, lo, hi
+
+
+def _vec_div(cols):
+    a, b = cols
+    if (b.lo <= 0 <= b.hi) and bool((b.values == 0).any()):
+        return None  # exact ZeroDivisionError comes from the fallback
+    m = max(abs(a.lo), abs(a.hi))
+    if m > _INT64_MAX:
+        return None
+    return np.floor_divide(a.values, b.values), -m, m
+
+
+def _vec_rem(cols):
+    a, b = cols
+    if (b.lo <= 0 <= b.hi) and bool((b.values == 0).any()):
+        return None
+    m = max(abs(b.lo), abs(b.hi))
+    if m > _INT64_MAX:
+        return None
+    return np.remainder(a.values, b.values), -m, m
+
+
+def _vec_bit(npop):
+    def impl(cols):
+        a, b = cols
+        lo, hi = _bit_bounds(a.lo, a.hi, b.lo, b.hi)
+        return npop(a.values, b.values), lo, hi
+
+    return impl
+
+
+def _vec_shl(cols):
+    a, b = cols
+    if b.lo < 0 or b.hi > 63:
+        return None
+    corners = (a.lo << b.lo, a.lo << b.hi, a.hi << b.lo, a.hi << b.hi)
+    lo, hi = min(corners), max(corners)
+    if not _fits(lo, hi):
+        return None
+    return np.left_shift(a.values, b.values), lo, hi
+
+
+def _vec_shr(cols):
+    a, b = cols
+    if b.lo < 0 or b.hi > 63:
+        return None
+    v = a.values
+    if a.lo < 0:
+        # Logical shift: negative values shift as 32-bit patterns.
+        v = np.where(v < 0, v & 0xFFFFFFFF, v)
+        lo, hi = 0, max(a.hi, 0xFFFFFFFF)
+    else:
+        lo, hi = a.lo >> b.hi, a.hi >> b.lo
+    return np.right_shift(v, b.values), lo, hi
+
+
+def _vec_ashr(cols):
+    a, b = cols
+    if b.lo < 0 or b.hi > 63:
+        return None
+    corners = (a.lo >> b.lo, a.lo >> b.hi, a.hi >> b.lo, a.hi >> b.hi)
+    return np.right_shift(a.values, b.values), min(corners), max(corners)
+
+
+def _vec_cmp(npop):
+    def impl(cols):
+        a, b = cols
+        return npop(a.values, b.values).astype(np.int64), 0, 1
+
+    return impl
+
+
+def _vec_min(cols):
+    a, b = cols
+    return np.minimum(a.values, b.values), min(a.lo, b.lo), min(a.hi, b.hi)
+
+
+def _vec_max(cols):
+    a, b = cols
+    return np.maximum(a.values, b.values), max(a.lo, b.lo), max(a.hi, b.hi)
+
+
+def _vec_not(cols):
+    (a,) = cols
+    return (a.values == 0).astype(np.int64), 0, 1
+
+
+def _vec_neg(cols):
+    (a,) = cols
+    lo, hi = -a.hi, -a.lo
+    if not _fits(lo, hi):
+        return None
+    return -a.values, lo, hi
+
+
+def _vec_copy(cols):
+    (a,) = cols
+    return a.values, a.lo, a.hi
+
+
+def _vec_select(cols):
+    c, a, b = cols
+    return (
+        np.where(c.values != 0, a.values, b.values),
+        min(a.lo, b.lo),
+        max(a.hi, b.hi),
+    )
+
+
+def _vec_land(cols):
+    a, b = cols
+    return ((a.values != 0) & (b.values != 0)).astype(np.int64), 0, 1
+
+
+def _vec_lor(cols):
+    a, b = cols
+    return ((a.values != 0) | (b.values != 0)).astype(np.int64), 0, 1
+
+
+_VEC_OPS: Dict[str, Callable] = {}
+if HAVE_NUMPY:
+    _VEC_OPS.update(
+        {
+            "add": _vec_add,
+            "sub": _vec_sub,
+            "mul": _vec_mul,
+            "div": _vec_div,
+            "rem": _vec_rem,
+            "and": _vec_bit(np.bitwise_and),
+            "or": _vec_bit(np.bitwise_or),
+            "xor": _vec_bit(np.bitwise_xor),
+            "shl": _vec_shl,
+            "shr": _vec_shr,
+            "ashr": _vec_ashr,
+            "eq": _vec_cmp(np.equal),
+            "ne": _vec_cmp(np.not_equal),
+            "lt": _vec_cmp(np.less),
+            "le": _vec_cmp(np.less_equal),
+            "gt": _vec_cmp(np.greater),
+            "ge": _vec_cmp(np.greater_equal),
+            "min": _vec_min,
+            "max": _vec_max,
+            "not": _vec_not,
+            "neg": _vec_neg,
+            "copy": _vec_copy,
+            "select": _vec_select,
+            "land": _vec_land,
+            "lor": _vec_lor,
+        }
+    )
+
+#: Reductions with a matching ufunc (``void`` is handled separately).
+_REDUCE_UFUNCS: Dict[str, Any] = {}
+if HAVE_NUMPY:
+    _REDUCE_UFUNCS.update(
+        {
+            "add": np.add,
+            "mul": np.multiply,
+            "min": np.minimum,
+            "max": np.maximum,
+            "and": np.bitwise_and,
+            "or": np.bitwise_or,
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+class ColumnarExecutor(Executor):
+    """Drop-in vectorized replacement for :class:`Executor`.
+
+    Same constructor, same ``run()`` signature, same profile and memory
+    side effects — only the internal stream representation differs (see
+    the module docstring for the bit-identity contract).
+    """
+
+    def __init__(
+        self,
+        graph: DFGraph,
+        memory: Optional[MemorySystem] = None,
+        max_loop_iterations: int = 1_000_000,
+        link_stats: bool = True,
+        schedule=None,
+    ):
+        if np is None:
+            raise RuntimeError(
+                "ColumnarExecutor requires numpy; use the token Executor"
+            )
+        super().__init__(
+            graph,
+            memory=memory,
+            max_loop_iterations=max_loop_iterations,
+            link_stats=link_stats,
+            schedule=schedule,
+        )
+        #: Active :class:`_ShadowMemory` while attempting a lockstep while
+        #: drain; every memory handler must route through it (or abort).
+        self._shadow: Optional[_ShadowMemory] = None
+        self._while_gate_cache: Dict[int, bool] = {}
+        self._while_static_cache: Dict[int, Dict[str, int]] = {}
+        #: id(tags) -> (tags, barrier count): loop turns reuse one shared
+        #: tags object across every column of the bundle, so link stats
+        #: can skip recounting.  Entries hold a strong reference, so a
+        #: cached id can never alias a different (dead) array.
+        self._tag_counts: Dict[int, tuple] = {}
+        #: node uid -> cached np.full array for `const` nodes (loop bodies
+        #: rebuild the same constant column every turn); columns are
+        #: immutable by convention, so handing out slice views is safe.
+        self._const_cache: Dict[int, Any] = {}
+        #: id(graph) -> (graph, steps with pre-resolved handlers); graphs
+        #: are kept alive by the tuple so ids cannot alias.
+        self._bound_steps: Dict[int, tuple] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, inputs: Optional[Dict[str, Any]] = None) -> Dict[str, Stream]:
+        """Execute the graph; same contract as :meth:`Executor.run`."""
+        inputs = inputs or {}
+        env: Dict[int, Column] = {}
+        for value in self.graph.inputs:
+            if value.name not in inputs:
+                raise GraphError(f"missing input stream '{value.name}'")
+            env[value.uid] = from_stream(_as_stream(inputs[value.name]))
+        outputs = self._run_graph(self.graph, env)
+        return {v.name: to_stream(outputs[v.uid]) for v in self.graph.outputs}
+
+    # -- graph walk (column-aware link stats) --------------------------------
+
+    def _run_graph(self, graph: DFGraph, env: Dict[int, Any]) -> Dict[int, Any]:
+        profile = self.profile
+        firings = profile.node_firings
+        handlers = self._handlers
+        collect_links = self.collect_link_stats
+        link_stats = profile.link_stats
+        tag_counts = self._tag_counts
+        if len(tag_counts) > 4096:
+            tag_counts.clear()
+        bound = self._bound_steps.get(id(graph))
+        if bound is None or bound[0] is not graph:
+            bound = (graph, [
+                (handlers.get(op) or self._handler(op), node, op, in_uids,
+                 outputs)
+                for node, op, in_uids, outputs in self._schedule.steps(graph)
+            ])
+            self._bound_steps[id(graph)] = bound
+        for handler, node, op, in_uids, outputs in bound[1]:
+            in_cols = [env[uid] for uid in in_uids]
+            firings[op] = firings.get(op, 0) + 1
+            out_cols = handler(node, in_cols)
+            if len(out_cols) != len(outputs):
+                raise GraphError(
+                    f"node {node!r} produced {len(out_cols)} streams, "
+                    f"expected {len(outputs)}"
+                )
+            for value, col in zip(outputs, out_cols):
+                env[value.uid] = col
+                if collect_links:
+                    tags = col.tags
+                    hit = tag_counts.get(id(tags))
+                    if hit is not None and hit[0] is tags:
+                        barriers = hit[1]
+                    else:
+                        barriers = int(np.count_nonzero(tags))
+                        tag_counts[id(tags)] = (tags, barriers)
+                    name = value.name
+                    lp = link_stats.get(name)
+                    if lp is None:
+                        lp = link_stats[name] = LinkProfile()
+                    lp.barriers += barriers
+                    lp.elements += len(tags) - barriers
+        return env
+
+    # -- exact token fallback for leaf nodes ---------------------------------
+
+    def _fallback_node(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        """Run one leaf node through the token handler (exact semantics)."""
+        streams = [to_stream(c) for c in ins]
+        handler = getattr(Executor, f"_op_{node.op}")
+        return [from_stream(s) for s in handler(self, node, streams)]
+
+    # -- element-wise and structural ops --------------------------------------
+
+    def _op_compute(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        name = node.params["fn"]
+        impl = _VEC_OPS.get(name) if isinstance(name, str) else None
+        vectorizable = impl is not None and _align(ins)
+        if vectorizable:
+            for c in ins:
+                if c.values.dtype == object:
+                    vectorizable = False
+                    break
+        if vectorizable:
+            res = impl(ins)
+            if res is not None:
+                values, lo, hi = res
+                return [Column(ins[0].tags, values, lo, hi)]
+        if _align(ins):
+            # Exact per-element fallback with the Python opcode.
+            fn = self._schedule.fn(node)
+            if fn is None:
+                fn = _resolve_fn(name)
+            lists = [c.values.tolist() for c in ins]
+            if len(lists) == 1:
+                vals = [fn(v) for v in lists[0]]
+            else:
+                vals = [fn(*t) for t in zip(*lists)]
+            values, lo, hi = _values_from_list(vals)
+            return [Column(ins[0].tags, values, lo, hi)]
+        return self._fallback_node(node, ins)
+
+    def _op_const(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        value = node.params["value"]
+        s = ins[0]
+        n = s.n_data
+        if type(value) is int and _INT64_MIN <= value <= _INT64_MAX:
+            arr = self._const_cache.get(node.uid)
+            if arr is None or len(arr) < n:
+                arr = np.full(max(n, 64), value, dtype=np.int64)
+                self._const_cache[node.uid] = arr
+            return [Column(s.tags, arr[:n], value, value)]
+        arr = np.empty(n, dtype=object)
+        arr[:] = [value] * n
+        return [Column(s.tags, arr, None, None)]
+
+    def _op_broadcast(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        levels = node.params.get("levels", 1)
+        return [self._broadcast_column(ins[0], ins[1], levels)]
+
+    def _broadcast_column(self, outer: Column, inner: Column, levels: int) -> Column:
+        if levels < 1:
+            raise PrimitiveError("broadcast requires levels >= 1")
+        tags = inner.tags
+        adv = (tags >= levels).astype(np.int64)
+        idx = np.cumsum(adv) - adv
+        didx = idx[tags == 0]
+        if didx.size and int(didx.max()) >= outer.n_data:
+            raise PrimitiveError("broadcast ran out of outer elements")
+        return Column(tags, outer.values[didx], outer.lo, outer.hi)
+
+    def _op_counter(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        return [self._counter_columns(ins[0], ins[1], ins[2])]
+
+    def _counter_columns(self, lo_c: Column, hi_c: Column, step_c: Column) -> Column:
+        def fallback() -> Column:
+            return from_stream(
+                prim.counter(to_stream(lo_c), to_stream(hi_c), to_stream(step_c))
+            )
+
+        cols = [lo_c, hi_c, step_c]
+        if not _align(cols) or any(c.values.dtype == object for c in cols):
+            return fallback()
+        sv = step_c.values
+        if bool((sv == 0).any()):
+            return fallback()
+        # Span arithmetic must stay exact in int64.
+        if not (
+            _fits(lo_c.lo - hi_c.hi, lo_c.hi - hi_c.lo)
+            and _fits(hi_c.lo - lo_c.hi, hi_c.hi - lo_c.lo)
+        ):
+            return fallback()
+        tags = lo_c.tags
+        bvals = tags[tags > 0]
+        if bvals.size and int(bvals.max()) >= MAX_BARRIER_LEVEL:
+            return fallback()  # raised barrier would exceed the encoding
+        lov, hiv = lo_c.values, hi_c.values
+        n = np.where(sv > 0, -((lov - hiv) // sv), -((hiv - lov) // (-sv)))
+        n = np.maximum(n, 0)
+        total_data = int(n.sum())
+        data_mask = tags == 0
+        reps = np.ones(len(tags), dtype=np.int64)
+        reps[data_mask] = n + 1
+        total = int(reps.sum())
+        out_tags = np.zeros(total, dtype=np.uint8)
+        if len(tags):
+            ends = np.cumsum(reps) - 1
+            out_tags[ends[data_mask]] = 1
+            bmask = ~data_mask
+            out_tags[ends[bmask]] = tags[bmask] + 1
+        offsets = np.cumsum(n) - n
+        values = np.repeat(lov, n) + np.repeat(sv, n) * (
+            np.arange(total_data, dtype=np.int64) - np.repeat(offsets, n)
+        )
+        return Column(
+            out_tags, values, min(lo_c.lo, hi_c.lo), max(lo_c.hi, hi_c.hi)
+        )
+
+    def _op_reduce(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        op = node.params["op"]
+        init = node.params.get("init", 0)
+        level = node.params.get("level", 1)
+        return [self._reduce_column(node, ins[0], op, init, level)]
+
+    def _reduce_column(
+        self, node: DFNode, col: Column, op_name: Any, init: Any, level: int
+    ) -> Column:
+        if level < 1:
+            raise PrimitiveError("reduce level must be >= 1")
+
+        def fallback() -> Column:
+            op = self._schedule.fn(node)
+            if op is None:
+                op = _resolve_reduce(op_name)
+            return from_stream(
+                prim.reduce_stream(op, init, to_stream(col), level=level)
+            )
+
+        named = isinstance(op_name, str)
+        if not named or not (op_name in _REDUCE_UFUNCS or op_name == "void"):
+            return fallback()
+        if col.values.dtype == object or type(init) is not int:
+            return fallback()
+        if not _fits(init, init):
+            return fallback()
+
+        tags = col.tags
+        values = col.values
+        bpos = np.nonzero(tags)[0]
+        if not bpos.size:
+            return Column(np.zeros(0, np.uint8), np.empty(0, np.int64), 0, 0)
+        levels_arr = tags[bpos].astype(np.int64)
+        dcum = (tags == 0).cumsum()
+        d = dcum[bpos]
+        prev_d = np.concatenate([np.zeros(1, np.int64), d[:-1]])
+        low = levels_arr <= level
+        high = ~low
+        emit = low | (d > prev_d)
+        starts = prev_d[emit]
+        ends_seg = d[emit]
+        n_emit = int(emit.sum())
+
+        # Overflow-safety per reduction op.
+        max_len = int((ends_seg - starts).max()) if n_emit else 0
+        m = max(abs(col.lo), abs(col.hi))
+        iv = abs(init)
+        if op_name == "add":
+            cap = max_len * m + iv
+            if cap > _INT64_MAX:
+                return fallback()
+            lo_r, hi_r = -cap, cap
+        elif op_name == "mul":
+            bits = max_len * max(m.bit_length(), 1) + iv.bit_length()
+            if bits > 62:
+                return fallback()
+            cap = 1 << bits
+            lo_r, hi_r = -cap, cap
+        elif op_name in ("min", "max"):
+            lo_r = min(col.lo, init)
+            hi_r = max(col.hi, init)
+        elif op_name in ("and", "or"):
+            lo_r, hi_r = _bit_bounds(col.lo, col.hi, init)
+        else:  # void
+            lo_r, hi_r = min(0, init), max(0, init)
+
+        if n_emit == 0:
+            red = np.empty(0, np.int64)
+        elif op_name == "void":
+            red = np.where(starts == ends_seg, init, 0).astype(np.int64)
+        else:
+            ufunc = _REDUCE_UFUNCS[op_name]
+            tsize = int(ends_seg[-1])
+            empty = starts == ends_seg
+            if tsize == 0:
+                red = np.full(n_emit, init, dtype=np.int64)
+            else:
+                s_idx = np.minimum(starts, tsize - 1)
+                red = ufunc.reduceat(values[:tsize], s_idx)
+                red = ufunc(red, np.int64(init))
+                red[empty] = init
+
+        reps = emit.astype(np.int64) + high.astype(np.int64)
+        total = int(reps.sum())
+        out_tags = np.zeros(total, np.uint8)
+        pos_end = np.cumsum(reps)
+        out_tags[pos_end[high] - 1] = (levels_arr[high] - level).astype(np.uint8)
+        return Column(out_tags, red, lo_r, hi_r)
+
+    def _op_flatten(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        return [self._flatten_column(ins[0], node.params.get("levels", 1))]
+
+    @staticmethod
+    def _flatten_column(col: Column, levels: int) -> Column:
+        tags = col.tags
+        keep = (tags == 0) | (tags > levels)
+        new_tags = tags[keep]
+        new_tags = np.where(new_tags > 0, new_tags - levels, 0).astype(np.uint8)
+        return Column(new_tags, col.values, col.lo, col.hi)
+
+    def _op_filter(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        pred = ins[-1]
+        data_cols = ins[:-1]
+        if not _align(ins):
+            # Token path reproduces exact errors (and exact quirks) for
+            # malformed bundles.
+            if len(ins) == 2:
+                return [
+                    from_stream(
+                        prim.filter_stream(to_stream(ins[0]), to_stream(pred))
+                    )
+                ]
+            outs = prim.filter_streams(
+                [to_stream(c) for c in data_cols], to_stream(pred)
+            )
+            return [from_stream(s) for s in outs]
+        keep_data = _truthy(pred.values)
+        tags = pred.tags
+        data_mask = tags == 0
+        full = ~data_mask
+        full[data_mask] = keep_data
+        new_tags = tags[full]
+        return [
+            Column(new_tags, c.values[keep_data], c.lo, c.hi) for c in data_cols
+        ]
+
+    def _partition_bundle(
+        self, cols: Sequence[Column], pred: Column
+    ) -> Tuple[List[Column], List[Column]]:
+        """Boolean-mask split of an aligned bundle (``prim.partition_streams``)."""
+        bundle = [pred] + list(cols)
+        if not _align(bundle):
+            streams = [to_stream(c) for c in cols]
+            kept, dropped = prim.partition_streams(streams, to_stream(pred))
+            return (
+                [from_stream(s) for s in kept],
+                [from_stream(s) for s in dropped],
+            )
+        keep_data = _truthy(pred.values)
+        tags = pred.tags
+        nk = int(np.count_nonzero(keep_data))
+        # All-or-nothing turns dominate while drains (most turns no thread
+        # exits; many `if` partitions are one-sided), so skip the fancy
+        # indexing: the full side shares the input columns, the empty side
+        # is barriers-only with an empty same-dtype values view.
+        if nk == len(keep_data):
+            bar_tags = tags[tags != 0]
+            empty = [Column(bar_tags, c.values[:0], c.lo, c.hi) for c in cols]
+            return list(cols), empty
+        if nk == 0:
+            bar_tags = tags[tags != 0]
+            empty = [Column(bar_tags, c.values[:0], c.lo, c.hi) for c in cols]
+            return empty, list(cols)
+        data_mask = tags == 0
+        full_keep = ~data_mask
+        full_keep[data_mask] = keep_data
+        kept_tags = tags[full_keep]
+        full_drop = ~data_mask
+        drop_data = ~keep_data
+        full_drop[data_mask] = drop_data
+        dropped_tags = tags[full_drop]
+        kept = [Column(kept_tags, c.values[keep_data], c.lo, c.hi) for c in cols]
+        dropped = [
+            Column(dropped_tags, c.values[drop_data], c.lo, c.hi) for c in cols
+        ]
+        return kept, dropped
+
+    # -- forward merge ---------------------------------------------------------
+
+    def _op_forward_merge(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        width = node.params.get("width", 1)
+        return self._merge_columns(ins[:width], ins[width:])
+
+    def _merge_columns(
+        self, a_cols: Sequence[Column], b_cols: Sequence[Column]
+    ) -> List[Column]:
+        width = len(a_cols)
+        if not _align(a_cols) or not _align(b_cols):
+            # Token path: bundle-zip, merge, unzip — exact error behaviour.
+            a_s = [to_stream(c) for c in a_cols]
+            b_s = [to_stream(c) for c in b_cols]
+            if width == 1:
+                return [from_stream(prim.forward_merge(a_s[0], b_s[0]))]
+            merged = prim.forward_merge(zip_streams(*a_s), zip_streams(*b_s))
+            return [from_stream(s) for s in unzip_stream(merged, width)]
+        ta, tb = a_cols[0].tags, b_cols[0].tags
+        a_b = np.nonzero(ta)[0]
+        b_b = np.nonzero(tb)[0]
+        la = ta[a_b]
+        lb = tb[b_b]
+        if a_b.size != b_b.size:
+            raise PrimitiveError("forward merge inputs have mismatched barriers")
+        neq = np.nonzero(la != lb)[0]
+        if neq.size:
+            j = int(neq[0])
+            raise PrimitiveError(
+                f"forward merge barrier mismatch: "
+                f"{Barrier(int(la[j]))} vs {Barrier(int(lb[j]))}"
+            )
+        na = len(ta) - a_b.size
+        nb = len(tb) - b_b.size
+        # One-sided merges are the norm inside while drains (an `if` whose
+        # other branch got no rows this turn): the empty side contributes
+        # nothing to any group, so the result *is* the populated side.
+        if nb == 0:
+            return [Column(ta, a.values, a.lo, a.hi) for a in a_cols]
+        if na == 0:
+            return [Column(tb, b.values, b.lo, b.hi) for b in b_cols]
+        G = int(a_b.size)
+        a_at = (ta == 0).cumsum()[a_b]
+        b_at = (tb == 0).cumsum()[b_b]
+        # Per-group data counts, including the trailing (barrier-less) group
+        # (hand-rolled diff-with-endpoints: np.diff's wrapper is measurable
+        # at this call rate).
+        ac = np.empty(G + 1, np.int64)
+        ac[:G] = a_at
+        ac[G] = na
+        ac[1:] -= a_at
+        bc = np.empty(G + 1, np.int64)
+        bc[:G] = b_at
+        bc[G] = nb
+        bc[1:] -= b_at
+        a_incl = ac.cumsum()
+        b_incl = bc.cumsum()
+        b_excl = b_incl - bc  # b-data before each group
+        # Compacted output index per input data element.
+        idx_a = np.arange(na, dtype=np.int64) + np.repeat(b_excl, ac)
+        idx_b = np.arange(nb, dtype=np.int64) + np.repeat(a_incl, bc)
+        sizes = ac + bc
+        sizes[:G] += 1
+        out_len = int(sizes.sum())
+        out_tags = np.zeros(out_len, np.uint8)
+        if G:
+            bar_pos = sizes.cumsum()[:G] - 1
+            out_tags[bar_pos] = la
+        outs: List[Column] = []
+        for a, b in zip(a_cols, b_cols):
+            obj = a.values.dtype == object or b.values.dtype == object
+            if obj:
+                values = np.empty(na + nb, dtype=object)
+                values[idx_a] = a.values.tolist()
+                values[idx_b] = b.values.tolist()
+                lo = hi = None
+            else:
+                values = np.empty(na + nb, dtype=np.int64)
+                values[idx_a] = a.values
+                values[idx_b] = b.values
+                lo, hi = min(a.lo, b.lo), max(a.hi, b.hi)
+            outs.append(Column(out_tags, values, lo, hi))
+        return outs
+
+    def _op_fork(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        counts = ins[0]
+        negative = counts.values.dtype != object and bool(
+            (counts.values < 0).any()
+        )
+        if (
+            not _align(ins)
+            or counts.values.dtype == object
+            or (negative and len(ins) > 1)
+        ):
+            return self._fallback_node(node, ins)
+        n = np.maximum(counts.values, 0)  # range(-k) is empty in the token path
+        total_data = int(n.sum())
+        offsets = np.cumsum(n) - n
+        idx_vals = np.arange(total_data, dtype=np.int64) - np.repeat(offsets, n)
+        tags = counts.tags
+        data_mask = tags == 0
+        reps = np.ones(len(tags), dtype=np.int64)
+        reps[data_mask] = n
+        total = int(reps.sum())
+        out_tags = np.zeros(total, np.uint8)
+        if len(tags):
+            ends = np.cumsum(reps) - 1
+            bmask = ~data_mask
+            out_tags[ends[bmask]] = tags[bmask]
+        hi_idx = max(int(n.max()) - 1, 0) if n.size else 0
+        outs = [Column(out_tags, idx_vals, 0, hi_idx)]
+        for c in ins[1:]:
+            outs.append(Column(out_tags, np.repeat(c.values, n), c.lo, c.hi))
+        return outs
+
+    # -- memory ops -----------------------------------------------------------
+    #
+    # Each handler has two routes: the real MemorySystem, or — while a
+    # lockstep while drain is attempting — the _ShadowMemory overlay, which
+    # needs the owning barrier group of every data row (_row_gids).  Under
+    # the shadow a handler must never touch real memory, so structural
+    # surprises raise _VectorAbort instead of taking the token fallback.
+
+    def _row_gids(self, col: Column) -> List[int]:
+        """Owning *global* barrier-group id for each data row of ``col``."""
+        tags = col.tags
+        local = np.cumsum(tags != 0)[tags == 0]
+        groups = np.asarray(self._shadow.current_groups, dtype=np.int64)
+        return groups[local].tolist()
+
+    def _op_sram_alloc(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        if self._shadow is not None:  # pointer order is group-interleaved
+            raise _VectorAbort
+        site = node.params.get("site", "default")
+        words = node.params.get("buffer_words", 64)
+        max_buffers = node.params.get("max_buffers", 4096)
+        if ins:
+            tags, n = ins[0].tags, ins[0].n_data
+        else:
+            tags = np.array([0, 1], dtype=np.uint8)
+            n = 1
+        ptrs = self.memory.sram_alloc_many(site, words, max_buffers, n)
+        values, lo, hi = _values_from_list(ptrs)
+        return [Column(tags, values, lo, hi)]
+
+    def _op_sram_free(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        if self._shadow is not None:  # free-list order is group-interleaved
+            raise _VectorAbort
+        site = node.params.get("site", "default")
+        col = ins[0]
+        self.memory.sram_free_many(site, col.values.tolist())
+        return [Column(col.tags, np.zeros(col.n_data, np.int64), 0, 0)]
+
+    def _op_sram_read(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        site = node.params.get("site", "default")
+        col = ins[0]
+        shadow = self._shadow
+        if shadow is None:
+            vals = self.memory.sram_read_many(site, col.values.tolist())
+        else:
+            vals = shadow.sram_read_many(
+                site, col.values.tolist(), self._row_gids(col))
+        values, lo, hi = _values_from_ints(vals)
+        return [Column(col.tags, values, lo, hi)]
+
+    def _op_sram_write(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        shadow = self._shadow
+        if not _align(ins):
+            if shadow is not None:
+                raise _VectorAbort
+            return self._fallback_node(node, ins)
+        site = node.params.get("site", "default")
+        a, v = ins
+        if shadow is None:
+            self.memory.sram_write_many(
+                site, a.values.tolist(), v.values.tolist())
+        else:
+            shadow.sram_write_many(
+                site, a.values.tolist(), v.values.tolist(),
+                self._row_gids(a))
+        return [Column(a.tags, np.zeros(a.n_data, np.int64), 0, 0)]
+
+    def _op_dram_read(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        col = ins[0]
+        shadow = self._shadow
+        if shadow is None:
+            vals = self.memory.dram_read_many(col.values.tolist())
+        else:
+            vals = shadow.dram_read_many(
+                col.values.tolist(), self._row_gids(col))
+        values, lo, hi = _values_from_ints(vals)
+        return [Column(col.tags, values, lo, hi)]
+
+    def _op_dram_write(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        shadow = self._shadow
+        if not _align(ins):
+            if shadow is not None:
+                raise _VectorAbort
+            return self._fallback_node(node, ins)
+        a, v = ins
+        if shadow is None:
+            self.memory.dram_write_many(a.values.tolist(), v.values.tolist())
+        else:
+            shadow.dram_write_many(
+                a.values.tolist(), v.values.tolist(), self._row_gids(a))
+        return [Column(a.tags, np.zeros(a.n_data, np.int64), 0, 0)]
+
+    def _op_bulk_load(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        shadow = self._shadow
+        if not _align(ins):
+            if shadow is not None:
+                raise _VectorAbort
+            return self._fallback_node(node, ins)
+        site = node.params.get("site", "default")
+        size = node.params["size"]
+        d, s = ins
+        if shadow is None:
+            self.memory.bulk_load_many(
+                site, d.values.tolist(), s.values.tolist(), size
+            )
+        else:
+            shadow.bulk_load_many(
+                site, d.values.tolist(), s.values.tolist(), size,
+                self._row_gids(d))
+        return [Column(d.tags, np.zeros(d.n_data, np.int64), 0, 0)]
+
+    def _op_bulk_store(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        shadow = self._shadow
+        if not _align(ins):
+            if shadow is not None:
+                raise _VectorAbort
+            return self._fallback_node(node, ins)
+        site = node.params.get("site", "default")
+        size = node.params["size"]
+        d, s = ins[0], ins[1]
+        if len(ins) > 2:
+            counts = [
+                max(0, min(size, c)) for c in ins[2].values.tolist()
+            ]
+            if shadow is None:
+                self.memory.bulk_store_counted_many(
+                    site, d.values.tolist(), s.values.tolist(), counts
+                )
+            else:
+                shadow.bulk_store_counted_many(
+                    site, d.values.tolist(), s.values.tolist(), counts,
+                    self._row_gids(d))
+        elif shadow is None:
+            self.memory.bulk_store_many(
+                site, d.values.tolist(), s.values.tolist(), size
+            )
+        else:
+            shadow.bulk_store_many(
+                site, d.values.tolist(), s.values.tolist(), size,
+                self._row_gids(d))
+        return [Column(d.tags, np.zeros(d.n_data, np.int64), 0, 0)]
+
+    # -- region ops -------------------------------------------------------------
+
+    def _op_while(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        """Drain a forward-backward loop (see :meth:`Executor._op_while`).
+
+        Preferred route: drain *every* barrier group in lockstep
+        (:meth:`_while_drain_vectorized`) under a :class:`_ShadowMemory`
+        transaction; on any cross-group hazard the attempt is discarded and
+        this falls back to the sequential per-group drain below, which
+        matches the token executor turn for turn.
+        """
+        cond_region, body_region = node.regions
+        width = len(ins)
+        label = node.params.get("label", f"while#{node.uid}")
+
+        tags0 = ins[0].tags
+        length = len(tags0)
+        for other in ins[1:]:
+            if len(other.tags) != length:
+                raise PrimitiveError("while live streams have different lengths")
+        if not _align(ins):
+            self._raise_while_misalignment(ins)
+
+        bpos = np.nonzero(tags0)[0]
+        dcum = (tags0 == 0).cumsum()
+
+        if self._shadow is not None:
+            # Nested inside an outer lockstep drain: the outer gate already
+            # proved this loop's regions safe, so run inline on the shared
+            # shadow; any hazard here aborts the outermost attempt.
+            return self._while_drain_vectorized(node, ins, tags0, bpos, dcum)
+        if len(bpos) > 1 and self._while_vector_safe(node):
+            # Lockstep only pays when several groups actually carry rows:
+            # with zero or one non-empty group the sequential drain below
+            # is already whole-bundle vectorized, and the shadow overlay
+            # would be pure per-access overhead.
+            counts0 = _counts_at(dcum, bpos)
+            if int(np.count_nonzero(counts0)) > 1:
+                out = self._try_while_vectorized(node, ins, tags0, bpos, dcum)
+                if out is not None:
+                    return out
+
+        record_loop = self.profile.record_loop
+        max_iterations = self.max_loop_iterations
+        out_chunks: List[List[Any]] = [[] for _ in range(width)]
+        group_counts: List[int] = []
+        start = 0
+        for p in bpos.tolist():
+            end = int(dcum[p])
+            n = end - start
+            gt = np.zeros(n + 1, np.uint8)
+            gt[n] = 1
+            live = [Column(gt, c.values[start:end], c.lo, c.hi) for c in ins]
+            start = end
+            exited = 0
+            iterations = 0
+            while True:
+                record_loop(label, 1)
+                cond = self._run_subgraph(cond_region, live)[0]
+                continuing, exiting = self._partition_bundle(live, cond)
+                for i in range(width):
+                    if exiting[i].n_data:
+                        out_chunks[i].append(exiting[i].values)
+                exited += exiting[0].n_data
+                next_live = self._run_subgraph(body_region, continuing)
+                n_re = next_live[0].n_data
+                if n_re == 0:
+                    break
+                gt2 = np.zeros(n_re + 1, np.uint8)
+                gt2[n_re] = 1
+                live = []
+                for s in next_live:
+                    if s.n_data == n_re:
+                        live.append(Column(gt2, s.values, s.lo, s.hi))
+                    else:
+                        # Ragged body outputs surface as misalignment on the
+                        # next turn, exactly as in the token path.
+                        t = np.zeros(s.n_data + 1, np.uint8)
+                        t[s.n_data] = 1
+                        live.append(Column(t, s.values, s.lo, s.hi))
+                iterations += 1
+                if iterations > max_iterations:
+                    raise PrimitiveError(
+                        "forward-backward loop exceeded max_iterations; "
+                        "possible livelock in loop body"
+                    )
+            group_counts.append(exited)
+        total_data = int(dcum[-1]) if length else 0
+        if total_data > start:
+            raise PrimitiveError(
+                "forward-backward loop input missing final barrier")
+
+        counts_arr = np.asarray(group_counts, np.int64)
+        G = len(group_counts)
+        out_total = int(counts_arr.sum()) + G
+        out_tags = np.zeros(out_total, np.uint8)
+        if G:
+            bar_pos = np.cumsum(counts_arr + 1) - 1
+            out_tags[bar_pos] = tags0[bpos]
+        outs: List[Column] = []
+        for i in range(width):
+            chunks = out_chunks[i]
+            if not chunks:
+                outs.append(Column(out_tags, np.empty(0, np.int64), 0, 0))
+                continue
+            if any(c.dtype == object for c in chunks):
+                values = np.empty(sum(len(c) for c in chunks), dtype=object)
+                pos = 0
+                for c in chunks:
+                    items = c.tolist()
+                    values[pos:pos + len(items)] = items
+                    pos += len(items)
+                lo = hi = None
+            else:
+                values = np.concatenate(chunks)
+                lo, hi = _bounds_of(values)
+            outs.append(Column(out_tags, values, lo, hi))
+        return outs
+
+    #: Ops allowed inside a lockstep-drained while: each is *group-local*
+    #: (rows of one barrier group never influence another group's rows) and
+    #: count-preserving, and its memory effects go through the shadow.
+    #: ``sram_alloc``/``sram_free`` are excluded — the FIFO free list makes
+    #: pointer values depend on cross-group allocation order — as is every
+    #: structural op (fork/filter/merge/foreach/...), conservatively.
+    _WHILE_VECTOR_OPS = frozenset({
+        "compute", "const", "sram_read", "sram_write", "dram_read",
+        "dram_write", "bulk_load", "bulk_store", "if", "while",
+    })
+
+    def _while_vector_safe(self, node: DFNode) -> bool:
+        """Whether ``node``'s regions qualify for the lockstep drain."""
+        cached = self._while_gate_cache.get(node.uid)
+        if cached is None:
+            cached = all(self._region_vector_safe(r) for r in node.regions)
+            self._while_gate_cache[node.uid] = cached
+        return cached
+
+    def _region_vector_safe(self, graph: DFGraph) -> bool:
+        safe = self._WHILE_VECTOR_OPS
+        for n in graph.nodes:
+            if n.op not in safe:
+                return False
+            for r in getattr(n, "regions", ()) or ():
+                if not self._region_vector_safe(r):
+                    return False
+        return True
+
+    def _static_op_counts(self, node: DFNode) -> Dict[str, int]:
+        """Op histogram of the while's regions, not descending into nested
+        whiles (which compensate their own firings) but counting the nested
+        while node itself.  Every such node fires exactly once per region
+        run, which is what the firing compensation in the lockstep drain
+        relies on."""
+        cached = self._while_static_cache.get(node.uid)
+        if cached is None:
+            cached = {}
+
+            def walk(graph: DFGraph) -> None:
+                for n in graph.nodes:
+                    cached[n.op] = cached.get(n.op, 0) + 1
+                    if n.op == "while":
+                        continue
+                    for r in getattr(n, "regions", ()) or ():
+                        walk(r)
+
+            for r in node.regions:
+                walk(r)
+            self._while_static_cache[node.uid] = cached
+        return cached
+
+    def _try_while_vectorized(
+        self, node: DFNode, ins: List[Column], tags0, bpos, dcum
+    ) -> Optional[List[Column]]:
+        """Attempt the lockstep drain as a transaction; None on abort.
+
+        All memory effects go to a fresh shadow overlay and all profile
+        counts to a scratch profile, so *any* exception — a cross-group
+        hazard, a malformed program, a genuine executor error — leaves real
+        state untouched and the sequential per-group drain reruns from
+        scratch, reproducing token behaviour exactly (including the error
+        itself and any partial side effects preceding it).
+        """
+        scratch = ExecutionProfile()
+        shadow = _ShadowMemory(self.memory)
+        shadow.current_groups = list(range(len(bpos)))
+        saved = self.profile
+        self.profile = scratch
+        self._shadow = shadow
+        try:
+            outs = self._while_drain_vectorized(node, ins, tags0, bpos, dcum)
+        except Exception:
+            return None
+        finally:
+            self.profile = saved
+            self._shadow = None
+        shadow.commit()
+        self._merge_profile(scratch)
+        return outs
+
+    def _merge_profile(self, scratch: ExecutionProfile) -> None:
+        profile = self.profile
+        links = profile.link_stats
+        for name, lp in scratch.link_stats.items():
+            t = links.get(name)
+            if t is None:
+                t = links[name] = LinkProfile()
+            t.elements += lp.elements
+            t.barriers += lp.barriers
+        firings = profile.node_firings
+        for op, n in scratch.node_firings.items():
+            firings[op] = firings.get(op, 0) + n
+        loops = profile.loop_iterations
+        for lbl, n in scratch.loop_iterations.items():
+            loops[lbl] = loops.get(lbl, 0) + n
+
+    def _while_drain_vectorized(
+        self, node: DFNode, ins: List[Column], tags0, bpos, dcum
+    ) -> List[Column]:
+        """Drain every barrier group of one while in lockstep.
+
+        Each global turn runs the condition and body *once* over the
+        still-live rows of all groups together; groups whose body
+        recirculates nothing drop out, so the turn count is ``max`` rather
+        than ``sum`` of per-group turn counts.  Per-group turn counts,
+        exit order, link totals, and loop/firing profile counts all equal
+        the sequential drain (firings are compensated below: region nodes
+        fire once per global turn here versus once per group-turn there).
+
+        Must run with ``self._shadow`` set; at the outermost level
+        ``self.profile`` is a scratch swapped in by
+        :meth:`_try_while_vectorized`.
+        """
+        cond_region, body_region = node.regions
+        width = len(ins)
+        label = node.params.get("label", f"while#{node.uid}")
+        record_loop = self.profile.record_loop
+        max_iterations = self.max_loop_iterations
+        shadow = self._shadow
+
+        G = len(bpos)
+        counts0 = _counts_at(dcum, bpos)
+        n_live = int(counts0.sum())
+        live_vals = [c.values[:n_live] for c in ins]
+        live_bounds = [(c.lo, c.hi) for c in ins]
+        present = np.arange(G, dtype=np.int64)  # local group ids still live
+        rowcounts = counts0
+        out_chunks: List[List[List[Any]]] = [
+            [[] for _ in range(G)] for _ in range(width)
+        ]
+        exited = np.zeros(G, np.int64)
+        parent = list(shadow.current_groups)
+        group_turns = 0
+        turns = 0
+        iterations = 0
+        try:
+            while present.size:
+                shadow.current_groups = [parent[g] for g in present.tolist()]
+                turns += 1
+                group_turns += len(present)
+                record_loop(label, len(present))
+                turn_tags = _group_tags(rowcounts)
+                live = [Column(turn_tags, v, lo, hi)
+                        for v, (lo, hi) in zip(live_vals, live_bounds)]
+                cond = self._run_subgraph(cond_region, live)[0]
+                if cond.tags is not turn_tags and not np.array_equal(
+                        cond.tags, turn_tags):
+                    raise _VectorAbort  # ragged condition: rerun per group
+                continuing, exiting = self._partition_bundle(live, cond)
+                ex_counts = _group_data_counts(exiting[0].tags)
+                if len(ex_counts) != len(present):
+                    raise _VectorAbort
+                if exiting[0].n_data:
+                    offs = np.cumsum(ex_counts)
+                    nz = np.nonzero(ex_counts)[0]
+                    for k in nz.tolist():
+                        g = int(present[k])
+                        o1 = int(offs[k])
+                        o0 = o1 - int(ex_counts[k])
+                        for i in range(width):
+                            out_chunks[i][g].append(exiting[i].values[o0:o1])
+                    np.add.at(exited, present[nz], ex_counts[nz])
+                body_out = self._run_subgraph(body_region, continuing)
+                if len(body_out) != width:
+                    raise _VectorAbort
+                b_counts = _group_data_counts(body_out[0].tags)
+                # The gated ops are all count-preserving, so the body must
+                # recirculate exactly the continuing rows of each group;
+                # anything else is a malformed program whose exact error the
+                # per-group rerun will reproduce.
+                if (len(b_counts) != len(present)
+                        or not np.array_equal(b_counts,
+                                              rowcounts - ex_counts)):
+                    raise _VectorAbort
+                t0b = body_out[0].tags
+                for c in body_out[1:]:
+                    t = c.tags
+                    if t is not t0b and not np.array_equal(
+                            _group_data_counts(t), b_counts):
+                        raise _VectorAbort
+                alive = b_counts > 0
+                present = present[alive]
+                rowcounts = b_counts[alive]
+                live_vals = [c.values for c in body_out]
+                live_bounds = [(c.lo, c.hi) for c in body_out]
+                if present.size:
+                    iterations += 1
+                    if iterations > max_iterations:
+                        raise PrimitiveError(
+                            "forward-backward loop exceeded max_iterations; "
+                            "possible livelock in loop body"
+                        )
+        finally:
+            shadow.current_groups = parent
+
+        total_data = int(dcum[-1]) if len(tags0) else 0
+        if total_data > n_live:
+            raise PrimitiveError(
+                "forward-backward loop input missing final barrier")
+
+        # Firing compensation: the sequential drain runs each region node
+        # once per (group, turn); the lockstep drain ran them once per
+        # global turn.  The difference is the same for every static node.
+        delta = group_turns - turns
+        if delta:
+            firings = self.profile.node_firings
+            for op, n in self._static_op_counts(node).items():
+                firings[op] = firings.get(op, 0) + n * delta
+
+        counts_arr = exited
+        out_total = int(counts_arr.sum()) + G
+        out_tags = np.zeros(out_total, np.uint8)
+        if G:
+            bar_pos = np.cumsum(counts_arr + 1) - 1
+            out_tags[bar_pos] = tags0[bpos]
+        outs: List[Column] = []
+        for i in range(width):
+            chunks = [ch for per_group in out_chunks[i] for ch in per_group]
+            if not chunks:
+                outs.append(Column(out_tags, np.empty(0, np.int64), 0, 0))
+                continue
+            if any(c.dtype == object for c in chunks):
+                values = np.empty(sum(len(c) for c in chunks), dtype=object)
+                pos = 0
+                for c in chunks:
+                    items = c.tolist()
+                    values[pos:pos + len(items)] = items
+                    pos += len(items)
+                lo = hi = None
+            else:
+                values = np.concatenate(chunks)
+                lo, hi = _bounds_of(values)
+            outs.append(Column(out_tags, values, lo, hi))
+        return outs
+
+    @staticmethod
+    def _raise_while_misalignment(ins: Sequence[Column]) -> None:
+        tags0 = ins[0].tags
+        for c in ins[1:]:
+            diff = np.nonzero(c.tags != tags0)[0]
+            if diff.size:
+                j = int(diff[0])
+                tok = _token_at(c, j)
+                if tags0[j] == 0:
+                    raise PrimitiveError(
+                        f"while live streams misaligned at {tok!r}")
+                raise PrimitiveError(
+                    f"while live streams have mismatched barriers at {tok!r}")
+        raise PrimitiveError("while live streams misaligned")
+
+    def _op_if(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        cond, live = ins[0], ins[1:]
+        then_region, else_region = node.regions
+        taken, fallthrough = self._partition_bundle(live, cond)
+        then_out = self._run_subgraph(then_region, taken)
+        else_out = self._run_subgraph(else_region, fallthrough)
+        width = len(node.outputs)
+        if width == 0:
+            return []
+        return self._merge_columns(then_out, else_out)
+
+    def _op_foreach(self, node: DFNode, ins: List[Column]) -> List[Column]:
+        lo, hi, step = ins[0], ins[1], ins[2]
+        live = ins[3:]
+        body = node.regions[0]
+        indices = self._counter_columns(lo, hi, step)
+        body_inputs = [indices] + [
+            self._broadcast_column(s, indices, 1) for s in live
+        ]
+        results = self._run_subgraph(body, body_inputs)
+        reduce_op = node.params.get("reduce_op")
+        if reduce_op is not None:
+            init = node.params.get("reduce_init", 0)
+            return [
+                self._reduce_column(node, r, reduce_op, init, 1) for r in results
+            ]
+        return [self._flatten_column(r, 1) for r in results]

@@ -15,8 +15,9 @@ used for Table V.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.errors import MachineError
 
@@ -68,18 +69,27 @@ class AllocationSite:
         self.name = name
         self.buffer_words = buffer_words
         self.max_buffers = max_buffers
-        self.free_list: List[int] = list(range(max_buffers))
+        # FIFO free list, equivalent to popping from list(range(max_buffers))
+        # with freed pointers appended at the tail — but without materializing
+        # max_buffers entries up front: never-allocated pointers are a counter,
+        # freed pointers a deque.  Allocation order is identical.
+        self._next_fresh = 0
+        self._returned: Deque[int] = deque()
         self.live: set = set()
         self.high_water = 0
         self.storage: Dict[int, int] = {}
 
     def alloc(self) -> int:
-        if not self.free_list:
+        if self._next_fresh < self.max_buffers:
+            ptr = self._next_fresh
+            self._next_fresh += 1
+        elif self._returned:
+            ptr = self._returned.popleft()
+        else:
             raise MachineError(
                 f"allocation site '{self.name}' exhausted "
                 f"({self.max_buffers} buffers of {self.buffer_words} words)"
             )
-        ptr = self.free_list.pop(0)
         self.live.add(ptr)
         self.high_water = max(self.high_water, len(self.live))
         return ptr
@@ -88,7 +98,7 @@ class AllocationSite:
         if ptr not in self.live:
             raise MachineError(f"double free of pointer {ptr} at site '{self.name}'")
         self.live.discard(ptr)
-        self.free_list.append(ptr)
+        self._returned.append(ptr)
 
     def read(self, addr: int) -> int:
         return self.storage.get(addr, 0)
@@ -199,6 +209,114 @@ class MemorySystem:
     def sram_write(self, site_name: str, addr: int, value: int) -> None:
         self.stats.sram_writes += 1
         self.site(site_name).write(int(addr), int(value))
+
+    # -- batched accessors (columnar executor) -------------------------------
+    #
+    # Each *_many helper is observably identical to calling its scalar
+    # counterpart once per element, including the order of stats updates
+    # relative to any mid-batch error: counters incremented per access stay
+    # incremented when a later access raises, exactly as in a scalar loop.
+
+    def dram_read_many(self, addrs: Sequence[int]) -> List[int]:
+        """Batched :meth:`dram_read`: same per-access traffic accounting."""
+        dram = self._dram
+        bytes_at = self._element_bytes_at
+        total_bytes = 0
+        out: List[int] = []
+        append = out.append
+        for addr in addrs:
+            addr = int(addr)
+            total_bytes += bytes_at(addr)
+            append(dram.get(addr, 0))
+        self.stats.dram_reads += len(out)
+        self.stats.dram_random_reads += len(out)
+        self.stats.dram_read_bytes += total_bytes
+        return out
+
+    def dram_write_many(self, addrs: Sequence[int], values: Sequence[int]) -> None:
+        """Batched :meth:`dram_write`: same per-access traffic accounting."""
+        dram = self._dram
+        bytes_at = self._element_bytes_at
+        total_bytes = 0
+        for addr, value in zip(addrs, values):
+            addr = int(addr)
+            total_bytes += bytes_at(addr)
+            dram[addr] = int(value)
+        n = min(len(addrs), len(values))
+        self.stats.dram_writes += n
+        self.stats.dram_random_writes += n
+        self.stats.dram_write_bytes += total_bytes
+
+    def sram_alloc_many(
+        self, site_name: str, buffer_words: int, max_buffers: int, count: int
+    ) -> List[int]:
+        """Allocate ``count`` buffers (batched :meth:`sram_alloc`)."""
+        site = self.site(site_name, buffer_words, max_buffers)
+        stats = self.stats
+        out: List[int] = []
+        for _ in range(count):
+            stats.allocations += 1
+            out.append(site.alloc())
+        return out
+
+    def sram_free_many(self, site_name: str, ptrs: Sequence[int]) -> None:
+        """Free many buffers (batched :meth:`sram_free`)."""
+        site = self.site(site_name)
+        stats = self.stats
+        for ptr in ptrs:
+            stats.frees += 1
+            site.free(int(ptr))
+
+    def sram_read_many(self, site_name: str, addrs: Sequence[int]) -> List[int]:
+        """Batched :meth:`sram_read`."""
+        storage = self.site(site_name).storage
+        out = [storage.get(int(addr), 0) for addr in addrs]
+        self.stats.sram_reads += len(out)
+        return out
+
+    def sram_write_many(
+        self, site_name: str, addrs: Sequence[int], values: Sequence[int]
+    ) -> None:
+        """Batched :meth:`sram_write`."""
+        storage = self.site(site_name).storage
+        n = 0
+        for addr, value in zip(addrs, values):
+            storage[int(addr)] = int(value)
+            n += 1
+        self.stats.sram_writes += n
+
+    def bulk_load_many(
+        self,
+        site_name: str,
+        dram_bases: Sequence[int],
+        sram_bases: Sequence[int],
+        size: int,
+    ) -> None:
+        """Batched :meth:`bulk_load` (one tile transfer per base pair)."""
+        for d, s in zip(dram_bases, sram_bases):
+            self.bulk_load(site_name, d, s, size)
+
+    def bulk_store_many(
+        self,
+        site_name: str,
+        dram_bases: Sequence[int],
+        sram_bases: Sequence[int],
+        size: int,
+    ) -> None:
+        """Batched :meth:`bulk_store` (one tile transfer per base pair)."""
+        for d, s in zip(dram_bases, sram_bases):
+            self.bulk_store(site_name, d, s, size)
+
+    def bulk_store_counted_many(
+        self,
+        site_name: str,
+        dram_bases: Sequence[int],
+        sram_bases: Sequence[int],
+        sizes: Sequence[int],
+    ) -> None:
+        """Batched :meth:`bulk_store` with a per-transfer element count."""
+        for d, s, n in zip(dram_bases, sram_bases, sizes):
+            self.bulk_store(site_name, d, s, n)
 
     # -- bulk transfers ------------------------------------------------------
 

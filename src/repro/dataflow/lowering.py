@@ -22,9 +22,9 @@ broadcasts), so the resulting graph is closed under each region.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.executor import Executor
+from repro.core.columnar import make_executor
 from repro.core.graph import DFGraph, DFValue
 from repro.core.machine import LinkKind
 from repro.core.memory import MemorySystem
@@ -90,13 +90,20 @@ class CompiledProgram:
     pragmas: List[str] = field(default_factory=list)
 
     def run(self, memory: MemorySystem, *, profile: bool = False,
-            link_stats: bool = True, **args: int):
+            link_stats: bool = True, executor: Optional[str] = None,
+            **args: int):
         """Execute the program on ``memory`` with scalar arguments ``args``.
 
         DRAM globals must already be allocated in ``memory`` under their
         declared names; their base addresses are wired into the graph inputs
         automatically.  Returns the executor (so callers can inspect the
         profile) when ``profile`` is True, otherwise the output streams.
+
+        ``executor`` selects the execution backend: ``"columnar"`` (the
+        vectorized numpy backend), ``"token"`` (the per-token reference
+        interpreter), or ``"auto"``/``None`` (columnar when numpy is
+        available, token otherwise).  Both backends are bit-identical —
+        same outputs, memory contents, traffic counters, and profile.
 
         ``link_stats=False`` skips the per-link element/barrier histograms
         (node firings and loop trip counts are still collected) — the
@@ -111,9 +118,11 @@ class CompiledProgram:
             inputs[name] = [args[name]]
         for name in self.dram_names:
             inputs[f"__dram_{name}"] = [memory.segment(name).base]
-        executor = Executor(self.graph, memory=memory, link_stats=link_stats)
-        outputs = executor.run(inputs)
-        return executor if profile else outputs
+        runner = make_executor(
+            self.graph, executor=executor, memory=memory, link_stats=link_stats
+        )
+        outputs = runner.run(inputs)
+        return runner if profile else outputs
 
 
 class DataflowLowering:

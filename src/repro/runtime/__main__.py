@@ -22,6 +22,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.core.columnar import EXECUTOR_CHOICES
 from repro.eval.tables import format_rows
 from repro.runtime.cache import ProgramCache
 from repro.runtime.engine import Engine
@@ -32,6 +33,7 @@ from repro.sim.policies import POLICIES
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the trace-replay CLI."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime",
         description="Replay a synthetic request trace through the serving engine.")
@@ -72,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "concurrently after its shared compile "
                              "(default 1 = sequential; responses are "
                              "bit-identical at any setting)")
+    parser.add_argument("--executor", type=str, default="auto",
+                        choices=EXECUTOR_CHOICES,
+                        help="functional interpreter for the vrda backend: "
+                             "'columnar' (vectorized numpy), 'token' "
+                             "(per-token reference), or 'auto' (columnar "
+                             "when numpy is available; default). Both "
+                             "produce bit-identical responses.")
     parser.add_argument("--rate-dispatch", action="store_true",
                         help="dispatch pool batches on measured per-worker "
                              "service rates (EWMA of flush wall-clock) "
@@ -91,6 +100,7 @@ def _run_pooled(args: argparse.Namespace, requests: List) -> int:
         intra_batch_workers=args.intra_batch_workers,
         rate_dispatch=args.rate_dispatch,
         disk_cache_dir=args.disk_cache,
+        executor=args.executor,
     )
     with pool:
         started = time.perf_counter()
@@ -105,6 +115,7 @@ def _run_pooled(args: argparse.Namespace, requests: List) -> int:
           f"pool={args.pool_workers}x{args.pool_mode}, "
           f"policy={report.policy}, "
           f"intra-batch={args.intra_batch_workers}, "
+          f"executor={pool.stats_row()['executor']}, "
           f"rate-dispatch={'on' if args.rate_dispatch else 'off'}")
     print(f"served          : {served} ok, {len(responses) - served} errors, "
           f"{wrong} incorrect results")
@@ -130,6 +141,7 @@ def _run_pooled(args: argparse.Namespace, requests: List) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the trace-replay CLI; returns a process exit code."""
     args = build_parser().parse_args(argv)
     apps = [name.strip() for name in args.apps.split(",") if name.strip()]
     rest = max(0.0, 1.0 - args.vrda_share) / 3.0
@@ -157,6 +169,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_batch_size=args.max_batch,
         result_cache_capacity=0 if args.no_result_cache else 512,
         intra_batch_workers=args.intra_batch_workers,
+        executor=args.executor,
     )
     scheduler = ShardScheduler(workers=args.workers, policy=args.policy)
 
@@ -172,7 +185,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     print(f"trace           : {len(requests)} requests over {len(apps)} apps "
           f"({', '.join(apps)}), "
-          f"intra-batch={args.intra_batch_workers}")
+          f"intra-batch={args.intra_batch_workers}, "
+          f"executor={engine.executor}")
     print(f"served          : {served} ok, {len(responses) - served} errors, "
           f"{wrong} incorrect results")
     print(f"wall time       : {elapsed:.3f} s  "

@@ -25,6 +25,7 @@ from repro.apps.base import AppInstance, AppSpec
 from repro.baselines.aurochs import AurochsModel
 from repro.baselines.cpu import CPUModel
 from repro.baselines.gpu import GPUModel
+from repro.core.columnar import resolve_executor
 from repro.core.machine import DEFAULT_MACHINE, MachineConfig
 from repro.dataflow.lowering import CompiledProgram
 from repro.dataflow.resources import ResourceBreakdown, estimate_resources
@@ -80,6 +81,7 @@ class Backend:
         self.init_latency_s = init_latency_s
 
     def execute(self, ctx: BackendRequestContext) -> BackendResult:
+        """Serve one request; raises :class:`BackendError` on a bad context."""
         raise NotImplementedError
 
     # -- shared helpers -----------------------------------------------------
@@ -121,12 +123,31 @@ class Backend:
 
 
 class FunctionalVRDABackend(Backend):
-    """Run the compiled program for real and attach the paper's perf model."""
+    """Run the compiled program for real and attach the paper's perf model.
+
+    ``executor`` selects the functional interpreter: ``"columnar"`` (the
+    vectorized numpy backend), ``"token"`` (the per-token reference oracle),
+    or ``None``/``"auto"`` (columnar when numpy is importable, else token).
+    Both produce bit-identical results; see ``docs/executor.md``.
+    """
 
     name = "vrda"
     needs_program = True
 
+    def __init__(self, machine: MachineConfig = DEFAULT_MACHINE,
+                 init_latency_s: float = 1e-4,
+                 executor: Optional[str] = None):
+        super().__init__(machine, init_latency_s)
+        #: Resolved executor name ("columnar" or "token"); validated eagerly
+        #: so a bad flag fails at construction, not on the first request.
+        self.executor = resolve_executor(executor)
+
     def execute(self, ctx: BackendRequestContext) -> BackendResult:
+        """Run ``ctx.program`` for real and model its throughput.
+
+        Raises :class:`BackendError` without a compiled program/instance;
+        executor errors (e.g. livelock guards) propagate as ``ReproError``.
+        """
         if ctx.program is None:
             raise BackendError("vrda backend needs a compiled program")
         if ctx.instance is None:
@@ -135,7 +156,8 @@ class FunctionalVRDABackend(Backend):
         # The serving path only consumes loop trip counts from the profile;
         # per-link histograms are skipped (the executor's cold fast path).
         executor = ctx.program.run(instance.memory, profile=True,
-                                   link_stats=False, **ctx.args)
+                                   link_stats=False, executor=self.executor,
+                                   **ctx.args)
 
         outputs: Optional[List[int]] = None
         correct: Optional[bool] = None
@@ -184,6 +206,7 @@ class CPUBaselineBackend(Backend):
         self.model = CPUModel()
 
     def execute(self, ctx: BackendRequestContext) -> BackendResult:
+        """Model the request analytically (needs a registered app)."""
         spec = self._require_spec(ctx)
         gbs = self.model.throughput_gbs(spec)
         size = self._workload_bytes(ctx)
@@ -202,6 +225,7 @@ class GPUBaselineBackend(Backend):
         self.model = GPUModel()
 
     def execute(self, ctx: BackendRequestContext) -> BackendResult:
+        """Model the request analytically (needs a registered app)."""
         spec = self._require_spec(ctx)
         gbs = self.model.throughput_gbs(spec)
         size = self._workload_bytes(ctx)
@@ -220,6 +244,7 @@ class AurochsBaselineBackend(Backend):
         self.model = AurochsModel(machine)
 
     def execute(self, ctx: BackendRequestContext) -> BackendResult:
+        """Model the request as the analytic vRDA slowed by the Aurochs gap."""
         spec = self._require_spec(ctx)
         revet_gbs = self._analytic_vrda_gbs(spec, ctx.n_threads)
         gbs = revet_gbs / max(1.0, self.model.speedup_of_revet())
@@ -229,24 +254,34 @@ class AurochsBaselineBackend(Backend):
 
 
 class BackendRegistry:
-    """Name-to-backend dispatch table used by the engine."""
+    """Name-to-backend dispatch table used by the engine.
+
+    ``executor`` is forwarded to :class:`FunctionalVRDABackend` (the only
+    backend that runs programs); analytic baselines ignore it.
+    """
 
     def __init__(self, machine: MachineConfig = DEFAULT_MACHINE,
-                 init_latency_s: float = 1e-4):
+                 init_latency_s: float = 1e-4,
+                 executor: Optional[str] = None):
         self._backends: Dict[str, Backend] = {}
-        for cls in (FunctionalVRDABackend, CPUBaselineBackend,
-                    GPUBaselineBackend, AurochsBaselineBackend):
+        self.register(FunctionalVRDABackend(machine, init_latency_s,
+                                            executor=executor))
+        for cls in (CPUBaselineBackend, GPUBaselineBackend,
+                    AurochsBaselineBackend):
             self.register(cls(machine, init_latency_s))
 
     def register(self, backend: Backend) -> Backend:
+        """Add (or replace) a backend under its ``name``; returns it."""
         self._backends[backend.name] = backend
         return backend
 
     def get(self, name: str) -> Backend:
+        """Look up a backend; raises :class:`BackendError` for unknown names."""
         if name not in self._backends:
             raise BackendError(
                 f"unknown backend '{name}'; choose from {sorted(self._backends)}")
         return self._backends[name]
 
     def names(self) -> List[str]:
+        """Registered backend names, in registration order."""
         return list(self._backends.keys())

@@ -42,6 +42,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups observed (hits + misses)."""
         return self.hits + self.misses
 
     @property
@@ -64,6 +65,7 @@ class CacheStats:
         }
 
     def as_dict(self) -> Dict[str, float]:
+        """Alias of :meth:`to_dict` (historical name used by benchmarks)."""
         return self.to_dict()
 
     def snapshot(self) -> "CacheStats":
@@ -102,6 +104,7 @@ class LRUCache:
         return key in self._entries
 
     def get(self, key: Any) -> Optional[Any]:
+        """Return the cached value (refreshing recency) or ``None`` on miss."""
         if key in self._entries:
             self._entries.move_to_end(key)
             self.stats.hits += 1
@@ -110,6 +113,7 @@ class LRUCache:
         return None
 
     def put(self, key: Any, value: Any) -> None:
+        """Insert/refresh an entry, evicting the least-recent past capacity."""
         if self.capacity <= 0:
             return
         if key in self._entries:
@@ -120,9 +124,11 @@ class LRUCache:
             self.stats.evictions += 1
 
     def clear(self) -> None:
+        """Drop every entry (stats are preserved)."""
         self._entries.clear()
 
     def keys(self):
+        """Current keys, LRU order (least recently used first)."""
         return list(self._entries.keys())
 
 
@@ -157,6 +163,7 @@ class ProgramCache:
 
     @property
     def stats(self) -> CacheStats:
+        """Counters for the memory tier (disk hits/writes included)."""
         return self._memory.stats
 
     def __len__(self) -> int:
@@ -177,6 +184,7 @@ class ProgramCache:
     @staticmethod
     def key(source: str, function: str = "main",
             options: Optional[CompileOptions] = None) -> str:
+        """Content address for one compilation (see :func:`program_key`)."""
         return program_key(source, function, options)
 
     def get_or_compile(self, source: str, function: str = "main",
@@ -212,6 +220,7 @@ class ProgramCache:
             self._memory.stats.hits += count
 
     def clear(self, disk: bool = False) -> None:
+        """Empty the memory tier; ``disk=True`` also unlinks pickle entries."""
         self._memory.clear()
         if disk and self.disk_dir is not None:
             for path in self.disk_dir.glob("*.pkl"):

@@ -99,6 +99,7 @@ class RuntimeClient:
         self._file = self._socket.makefile("rwb")
 
     def close(self) -> None:
+        """Close the connection; safe to call twice, never raises."""
         try:
             self._file.close()
         finally:
@@ -150,9 +151,11 @@ class RuntimeClient:
     # -- protocol ops -------------------------------------------------------
 
     def ping(self) -> Dict[str, Any]:
+        """Liveness round-trip; returns the server's version envelope."""
         return self.roundtrip({"op": "ping"})
 
     def stats(self) -> Dict[str, Any]:
+        """Fetch served/shed counters and per-worker cache stats."""
         return self.roundtrip({"op": "stats"})
 
     def request(self, **fields: Any) -> Dict[str, Any]:
@@ -180,6 +183,7 @@ class RuntimeClient:
         return reply["responses"]
 
     def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to exit cleanly; returns its acknowledgement."""
         return self.roundtrip({"op": "shutdown"})
 
 
@@ -396,6 +400,7 @@ def _smoke_http(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the client CLI."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.client",
         description="Drive the runtime server: one-off requests or CI smoke.",
@@ -444,6 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the client CLI; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.smoke:
         return _smoke(args)

@@ -61,6 +61,7 @@ class Request:
     options: Optional[CompileOptions] = None
 
     def validate(self) -> None:
+        """Check field consistency; raises :class:`EngineError` when invalid."""
         if (self.app is None) == (self.source is None):
             raise EngineError("a request names either 'app' or 'source'")
         if self.app is not None and self.memory is None and self.args:
@@ -174,11 +175,41 @@ class Engine:
                  max_batch_size: int = 16,
                  result_cache_capacity: int = 512,
                  init_latency_s: float = 1e-4,
-                 intra_batch_workers: int = 1):
+                 intra_batch_workers: int = 1,
+                 executor: Optional[str] = None):
+        """Build a serving engine.
+
+        Args:
+            program_cache: content-addressed compiled-program tier; pass
+                ``ProgramCache(capacity=0)`` to force a compile per batch.
+            backends: dispatch table of serving targets; defaults to the
+                four standard backends (``vrda``/``cpu``/``gpu``/``aurochs``).
+                When provided, ``executor`` must be left unset — the registry
+                already fixed its functional backend's interpreter.
+            machine: hardware model handed to backends and the perf model.
+            max_batch_size: cap on requests coalesced into one batch.
+            result_cache_capacity: LRU entries in the response memo tier;
+                0 disables result caching.
+            init_latency_s: per-request init term of the modeled latency.
+            intra_batch_workers: >1 runs a batch's cache-miss entries on a
+                bounded thread pool (deterministic responses regardless).
+            executor: functional interpreter for the ``vrda`` backend —
+                ``"columnar"``, ``"token"``, or ``None``/``"auto"``
+                (columnar when numpy is available).  Raises ``ValueError``
+                for unknown names and ``RuntimeError`` for ``"columnar"``
+                without numpy.
+
+        Thread-safety: one engine may be driven from one thread;
+        ``intra_batch_workers`` only parallelizes internally.
+        """
         self.program_cache = (program_cache if program_cache is not None
                               else ProgramCache())
+        if backends is not None and executor is not None:
+            raise EngineError(
+                "pass 'executor' or a prebuilt 'backends' registry, not both")
         self.backends = (backends if backends is not None
-                         else BackendRegistry(machine, init_latency_s))
+                         else BackendRegistry(machine, init_latency_s,
+                                              executor=executor))
         self.max_batch_size = max(1, max_batch_size)
         self.intra_batch_workers = max(1, intra_batch_workers)
         self.result_cache = LRUCache(result_cache_capacity)
@@ -457,16 +488,28 @@ class Engine:
 
     @property
     def program_cache_stats(self) -> CacheStats:
+        """Counters for the content-addressed compilation tier."""
         return self.program_cache.stats
 
     @property
     def result_cache_stats(self) -> CacheStats:
+        """Counters for the memoized-response tier."""
         return self.result_cache.stats
 
+    @property
+    def executor(self) -> str:
+        """Resolved functional-interpreter name ("columnar" or "token")."""
+        try:
+            return getattr(self.backends.get("vrda"), "executor", "token")
+        except ReproError:
+            return "token"  # registry without a functional backend
+
     def stats_row(self) -> Dict[str, object]:
+        """One flat dict of cache/backend counters (for logs and tests)."""
         return {
             "program_cache": self.program_cache_stats.as_dict(),
             "result_cache": self.result_cache_stats.as_dict(),
             "backend_counts": dict(self.backend_counts),
             "intra_batch_workers": self.intra_batch_workers,
+            "executor": self.executor,
         }

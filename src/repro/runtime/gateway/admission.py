@@ -58,6 +58,7 @@ class AdmissionSnapshot:
     peak_inflight: int
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form for stats endpoints."""
         return {
             "inflight": self.inflight,
             "limit": self.limit,
@@ -135,6 +136,7 @@ class AdmissionController:
 
     @property
     def inflight(self) -> int:
+        """Requests currently holding tokens (admitted, not yet released)."""
         return self._inflight
 
     def observe_drain(self, served: int, elapsed_s: float) -> None:
@@ -178,10 +180,12 @@ class AdmissionController:
             )
 
     def release(self, n: int = 1) -> None:
+        """Return ``n`` tokens after their flush completes; never raises."""
         with self._lock:
             self._inflight = max(0, self._inflight - n)
 
     def snapshot(self) -> AdmissionSnapshot:
+        """Consistent copy of the counters (taken under the lock)."""
         with self._lock:
             return AdmissionSnapshot(
                 inflight=self._inflight,
@@ -346,6 +350,7 @@ class PoolService:
         return waits[index]
 
     def stats_payload(self) -> Dict[str, Any]:
+        """The ``stats`` wire envelope: counters, queue waits, pool view."""
         with self.pool_lock:
             pool_stats = self.pool.stats_row()
         payload: Dict[str, Any] = {

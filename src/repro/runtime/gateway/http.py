@@ -101,6 +101,7 @@ class ParsedRequest:
         self.keep_alive = keep_alive
 
     def json_body(self) -> Any:
+        """Parse the body as JSON; raises a 400 :class:`HttpError` if invalid."""
         try:
             return json.loads(self.body or b"null")
         except json.JSONDecodeError as error:
@@ -189,6 +190,7 @@ class HttpGateway:
 
     @property
     def endpoint(self) -> str:
+        """``host:port`` the gateway is (or will be) listening on."""
         return f"{self.http_host}:{self.http_port}"
 
     def start(self, timeout_s: float = 30.0) -> "HttpGateway":
@@ -206,6 +208,7 @@ class HttpGateway:
         return self
 
     def close(self, timeout_s: float = 10.0) -> None:
+        """Stop the event loop and join the serving thread; idempotent."""
         loop, stop = self._loop, self._stop
         if loop is not None and stop is not None:
             def _finish() -> None:

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.columnar import resolve_executor
 from repro.errors import ReproError
 from repro.runtime.cache import CacheStats, ProgramCache
 from repro.runtime.engine import Batch, Engine, Request, Response
@@ -69,8 +70,13 @@ class WorkerConfig:
     #: Artificial per-request service delay (seconds); a test/benchmark knob
     #: for skewed-worker experiments, never set in production configs.
     service_delay_s: float = 0.0
+    #: Functional interpreter for the vrda backend: "columnar", "token", or
+    #: None/"auto" (columnar when numpy is available).  Picklable, so process
+    #: workers inherit the choice across the spawn boundary.
+    executor: Optional[str] = None
 
     def build_engine(self, index: int = 0) -> Engine:
+        """Construct this worker's private engine (one per worker index)."""
         disk_dir = (
             Path(self.disk_cache_dir) / f"worker-{index}"
             if self.disk_cache_dir is not None
@@ -84,6 +90,7 @@ class WorkerConfig:
             max_batch_size=self.max_batch_size,
             init_latency_s=self.init_latency_s,
             intra_batch_workers=self.intra_batch_workers,
+            executor=self.executor,
         )
 
 
@@ -103,6 +110,7 @@ class WorkerSnapshot:
     service_rate_rps: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (stats endpoints and the CLI report)."""
         return {
             "worker": self.index,
             "batches": self.batches,
@@ -217,6 +225,7 @@ class _InlineWorker:
         self._pending: Optional[Tuple[List[Response], WorkerSnapshot]] = None
 
     def submit(self, batches: Sequence[Batch]) -> None:
+        """Execute the batches synchronously; results wait for collect()."""
         responses, served, elapsed = _run_batches(
             self.engine, batches, self.config.service_delay_s
         )
@@ -235,11 +244,13 @@ class _InlineWorker:
         self._pending = (responses, snapshot)
 
     def collect(self) -> Tuple[List[Response], WorkerSnapshot]:
+        """Return (and clear) the responses/snapshot of the last submit()."""
         assert self._pending is not None, "collect() before submit()"
         pending, self._pending = self._pending, None
         return pending
 
     def stop(self) -> None:
+        """Nothing to tear down for an in-process worker."""
         pass
 
 
@@ -258,18 +269,21 @@ class _ProcessWorker:
         child.close()
 
     def submit(self, batches: Sequence[Batch]) -> None:
+        """Ship the batches to the child; raises PoolError if it is gone."""
         try:
             self.connection.send(("run", batches))
         except (BrokenPipeError, OSError) as error:
             raise PoolError(f"pool worker {self.index} is gone: {error}")
 
     def collect(self) -> Tuple[List[Response], WorkerSnapshot]:
+        """Block for the child's responses; raises PoolError if it died."""
         try:
             return self.connection.recv()
         except EOFError as error:
             raise PoolError(f"pool worker {self.index} died mid-batch") from error
 
     def stop(self) -> None:
+        """Stop the child (politely, then by terminate) and close the pipe."""
         try:
             self.connection.send(("stop",))
         except (BrokenPipeError, OSError):
@@ -292,12 +306,15 @@ class PoolReport:
 
     @property
     def policy(self) -> str:
+        """Name of the admission policy that dispatched this flush."""
         return self.schedule.policy
 
     def aggregate_program_stats(self) -> CacheStats:
+        """Program-cache counters summed across every worker."""
         return CacheStats.merged(w.program_cache for w in self.workers)
 
     def aggregate_result_stats(self) -> CacheStats:
+        """Result-cache counters summed across every worker."""
         return CacheStats.merged(w.result_cache for w in self.workers)
 
     def program_hit_rate(self) -> float:
@@ -305,6 +322,7 @@ class PoolReport:
         return self.aggregate_program_stats().hit_rate
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable flush summary (CLI + stats wire form)."""
         ok = sum(1 for r in self.responses if r.error is None)
         return {
             "mode": self.mode,
@@ -344,6 +362,7 @@ class WorkerPool:
         service_delays: Optional[Sequence[float]] = None,
         disk_cache_dir: Optional[str] = None,
         mp_context: str = "spawn",
+        executor: Optional[str] = None,
     ):
         if workers <= 0:
             raise PoolError("need at least one pool worker")
@@ -351,6 +370,9 @@ class WorkerPool:
             raise PoolError(f"unknown pool mode '{mode}'; choose from {POOL_MODES}")
         if service_delays is not None and len(service_delays) != workers:
             raise PoolError("service_delays must have one entry per worker")
+        # Validate eagerly so a bad --executor flag fails here, in the parent
+        # process, instead of inside every spawned worker.
+        resolve_executor(executor)
         self.workers = workers
         self.mode = mode
         #: Dispatch on measured per-worker service rates: before each flush
@@ -364,6 +386,7 @@ class WorkerPool:
             init_latency_s=init_latency_s,
             intra_batch_workers=intra_batch_workers,
             disk_cache_dir=disk_cache_dir,
+            executor=executor,
         )
         if service_delays is None:
             self._worker_configs = [self.config] * workers
@@ -417,6 +440,7 @@ class WorkerPool:
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
+        """Stop every worker; idempotent, and the pool is unusable after."""
         if self._closed:
             return
         self._closed = True
@@ -509,6 +533,7 @@ class WorkerPool:
             "mode": self.mode,
             "policy": getattr(self._policy, "name", str(self._policy)),
             "intra_batch_workers": self.config.intra_batch_workers,
+            "executor": resolve_executor(self.config.executor),
             "rate_dispatch": self.rate_dispatch,
             "worker_scales": [round(s, 4) for s in self._scheduler.worker_scales],
             "workers": [s.to_dict() for s in self.last_snapshots],

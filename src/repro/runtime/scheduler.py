@@ -51,6 +51,7 @@ class ScheduleReport:
 
     @property
     def total_tasks(self) -> int:
+        """Requests admitted across every worker."""
         return sum(w.tasks for w in self.workers)
 
     def imbalance(self) -> float:
@@ -60,6 +61,7 @@ class ScheduleReport:
         return max(busy) / mean if mean > 0 else 1.0
 
     def as_rows(self) -> List[dict]:
+        """Per-worker table rows (the CLI/stats wire form)."""
         return [{
             "worker": w.index,
             "scale": w.scale,

@@ -44,6 +44,7 @@ import sys
 import threading
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.columnar import EXECUTOR_CHOICES
 from repro.runtime.gateway.admission import AdmissionController, PoolService
 from repro.runtime.pool import POOL_MODES, WorkerPool
 from repro.sim.policies import POLICIES
@@ -78,14 +79,17 @@ class RuntimeServer(socketserver.ThreadingTCPServer):
 
     @property
     def pool(self) -> WorkerPool:
+        """The worker pool behind the shared front door."""
         return self.service.pool
 
     @property
     def served(self) -> int:
+        """Requests served (admitted and flushed) since startup."""
         return self.service.served
 
     @property
     def endpoint(self) -> str:
+        """``host:port`` the NDJSON listener is bound to."""
         host, port = self.server_address[:2]
         return f"{host}:{port}"
 
@@ -94,11 +98,13 @@ class RuntimeServer(socketserver.ThreadingTCPServer):
         return self.service.serve_payloads(payloads).results
 
     def stats_payload(self) -> Dict[str, Any]:
+        """The ``stats`` reply envelope, protocol version attached."""
         payload = self.service.stats_payload()
         payload["version"] = PROTOCOL_VERSION
         return payload
 
     def request_shutdown(self) -> None:
+        """Stop serve_forever() from any thread (used on pool failure)."""
         # shutdown() blocks until serve_forever() exits, so it must run off
         # the handler thread that is still inside a request.
         threading.Thread(target=self.shutdown, daemon=True).start()
@@ -110,6 +116,7 @@ class _LineHandler(socketserver.StreamRequestHandler):
     server: RuntimeServer
 
     def setup(self) -> None:
+        """Apply the connection timeout before the stream is wrapped."""
         if self.server.conn_timeout is not None:
             self.request.settimeout(self.server.conn_timeout)
         super().setup()
@@ -119,6 +126,7 @@ class _LineHandler(socketserver.StreamRequestHandler):
         self.wfile.flush()
 
     def handle(self) -> None:
+        """Serve JSON lines until EOF; timeouts drop the connection."""
         try:
             self._serve_lines()
         except (TimeoutError, OSError):
@@ -180,6 +188,7 @@ class _LineHandler(socketserver.StreamRequestHandler):
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the socket/HTTP server."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.server",
         description="Serve runtime requests over newline-delimited JSON/TCP "
@@ -286,10 +295,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="spawn",
         help="multiprocessing start method for process mode",
     )
+    parser.add_argument(
+        "--executor",
+        type=str,
+        default="auto",
+        choices=EXECUTOR_CHOICES,
+        help="functional interpreter for the vrda backend: 'columnar' "
+             "(vectorized numpy), 'token' (per-token reference), or 'auto' "
+             "(columnar when numpy is available; default); responses are "
+             "bit-identical either way",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the socket/HTTP server; returns a process exit code."""
     args = build_parser().parse_args(argv)
     pool = WorkerPool(
         workers=args.workers,
@@ -302,6 +322,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         rate_dispatch=args.rate_dispatch,
         disk_cache_dir=args.disk_cache,
         mp_context=args.mp_context,
+        executor=args.executor,
     )
     admission = None
     if not args.no_admission:

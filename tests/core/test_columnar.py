@@ -1,0 +1,198 @@
+"""Columnar executor: selection API, app-level oracle parity, fuzzing.
+
+The columnar backend's contract is *bit-identity* with the per-token
+reference executor (see ``docs/executor.md``): same memory contents, same
+traffic counters, same profile, same errors.  These tests enforce it at the
+``CompiledProgram.run`` level; ``tests/runtime/test_executor_parity.py``
+enforces the same contract on full engine responses.
+"""
+
+import random
+
+import pytest
+
+from repro.apps import REGISTRY
+from repro.core.columnar import (
+    EXECUTOR_CHOICES,
+    HAVE_NUMPY,
+    ColumnarExecutor,
+    make_executor,
+    resolve_executor,
+)
+from repro.core.executor import Executor
+from repro.core.graph import DFGraph
+
+requires_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+class TestExecutorSelection:
+    def test_resolve_auto_and_none(self):
+        expected = "columnar" if HAVE_NUMPY else "token"
+        assert resolve_executor(None) == expected
+        assert resolve_executor("auto") == expected
+
+    def test_resolve_explicit(self):
+        assert resolve_executor("token") == "token"
+        if HAVE_NUMPY:
+            assert resolve_executor("columnar") == "columnar"
+
+    def test_resolve_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("vectorised")
+
+    def test_choices_cover_resolver(self):
+        for name in EXECUTOR_CHOICES:
+            assert resolve_executor(name) in ("columnar", "token")
+
+    def test_make_executor_types(self):
+        graph = DFGraph()
+        assert type(make_executor(graph, executor="token")) is Executor
+        if HAVE_NUMPY:
+            assert isinstance(make_executor(graph, executor="columnar"),
+                              ColumnarExecutor)
+
+
+def _memory_state(memory):
+    """Everything observable about a memory system after a run."""
+    return {
+        "dram": dict(memory._dram),
+        "stats": vars(memory.stats).copy(),
+        "sites": {
+            name: {
+                "storage": dict(site.storage),
+                "live": set(site.live),
+                "high_water": site.high_water,
+            }
+            for name, site in memory.sites().items()
+        },
+    }
+
+
+def _profile_state(profile):
+    return {
+        "links": {name: (lp.elements, lp.barriers)
+                  for name, lp in profile.link_stats.items()},
+        "firings": dict(profile.node_firings),
+        "loops": dict(profile.loop_iterations),
+    }
+
+
+def _run_both(program, make_instance):
+    """Run one shared compiled program under both executors.
+
+    The program MUST be compiled once and shared: separate compiles mint
+    fresh node uids, so auto-generated labels/link names would differ and
+    mask (or fake) real divergence.
+    """
+    states = {}
+    for executor in ("token", "columnar"):
+        instance = make_instance()
+        runner = program.run(instance.memory, profile=True,
+                             executor=executor, **instance.args)
+        states[executor] = (
+            _memory_state(instance.memory),
+            _profile_state(runner.profile),
+        )
+    return states
+
+
+@requires_numpy
+@pytest.mark.parametrize("app", sorted(REGISTRY.names()))
+def test_app_bit_identity(app):
+    """Every registered app: identical memory, stats, and profile."""
+    spec = REGISTRY.get(app)
+    program = spec.compile()
+    states = _run_both(program, lambda: spec.make_instance(8, 0))
+    token_state, columnar_state = states["token"], states["columnar"]
+    assert columnar_state[0] == token_state[0]  # memory + traffic counters
+    assert columnar_state[1] == token_state[1]  # execution profile
+
+
+@requires_numpy
+def test_outputs_are_plain_python_ints():
+    """No numpy scalar may leak into memory (it would break JSON later)."""
+    spec = REGISTRY.get("murmur3")
+    program = spec.compile()
+    instance = spec.make_instance(4, 0)
+    program.run(instance.memory, executor="columnar", **instance.args)
+    for value in instance.memory.segment_data(spec.output_segment):
+        assert type(value) is int
+
+
+# -- property-style fuzz over random straight-line bodies -------------------
+
+_DIVISORS = (1, 2, 3, 5, 7, 16, 255)
+_SHIFTS = (0, 1, 3, 7, 13, 31)
+
+
+def _random_straight_line_source(rng: random.Random, n_stmts: int) -> str:
+    """A foreach over a straight-line body of random integer arithmetic."""
+    lines = ["    int t0 = a[i];", "    int t1 = b[i];"]
+    n_temps = 2
+    for _ in range(n_stmts):
+        lhs = f"t{rng.randrange(n_temps)}"
+        kind = rng.randrange(10)
+        if kind == 0:  # non-zero constant divisor: both executors may not trap
+            expr = f"{lhs} {rng.choice(['/', '%'])} {rng.choice(_DIVISORS)}"
+        elif kind == 1:  # bounded constant shift
+            expr = f"{lhs} {rng.choice(['<<', '>>'])} {rng.choice(_SHIFTS)}"
+        elif kind == 2:
+            expr = f"{rng.choice(['-', '~', '!'])}{lhs}"
+        elif kind == 3:
+            expr = f"{lhs} {rng.choice(['<', '<=', '>', '>=', '==', '!='])} " \
+                   f"t{rng.randrange(n_temps)}"
+        else:
+            op = rng.choice(["+", "-", "*", "&", "|", "^"])
+            rhs = (f"t{rng.randrange(n_temps)}" if rng.random() < 0.7
+                   else str(rng.choice([0, 1, 7, 0xFFFF, 2**31, 2**40])))
+            expr = f"{lhs} {op} {rhs}"
+        lines.append(f"    int t{n_temps} = {expr};")
+        n_temps += 1
+    lines.append(f"    out[i] = t{n_temps - 1};")
+    body = "\n".join(lines)
+    return (
+        "DRAM<int> a;\nDRAM<int> b;\nDRAM<int> out;\n\n"
+        "void main(int n) {\n  foreach (n) { int i =>\n"
+        + body + "\n  };\n}\n"
+    )
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", range(12))
+def test_fuzz_straight_line_parity(seed):
+    """Random straight-line graphs agree bit-for-bit across executors.
+
+    Inputs mix small, huge (> int64 after a few multiplies), and negative
+    values so both the vectorized int64 path and the exact-Python overflow
+    fallback get exercised.
+    """
+    from repro.compiler import compile_source
+    from repro.core.memory import MemorySystem
+
+    rng = random.Random(seed)
+    source = _random_straight_line_source(rng, n_stmts=rng.randint(4, 12))
+    program = compile_source(source)
+    n = 13
+
+    def make_instance():
+        memory = MemorySystem()
+        data_rng = random.Random(seed + 1)
+        pick = lambda: data_rng.choice([
+            data_rng.randint(-50, 50),
+            data_rng.randint(-2**62, 2**62),
+            0,
+        ])
+        memory.dram_alloc("a", data=[pick() for _ in range(n)])
+        memory.dram_alloc("b", data=[pick() for _ in range(n)])
+        memory.dram_alloc("out", size=n)
+
+        class _Instance:
+            pass
+
+        instance = _Instance()
+        instance.memory = memory
+        instance.args = {"n": n}
+        return instance
+
+    states = _run_both(program, make_instance)
+    assert states["columnar"] == states["token"]

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Documentation checker for CI: links resolve, snippets import.
+
+Three checks over README.md and everything under docs/:
+
+1. **Intra-repo markdown links** — every relative ``[text](target)``
+   must point at a file or directory that exists (external ``http(s)``,
+   ``mailto:``, and pure ``#anchor`` links are skipped).
+2. **Import lines** — every ``import x`` / ``from x import y`` line
+   found inside fenced code blocks is executed in one Python
+   subprocess with ``src/`` on the path, so docs never name modules or
+   symbols that do not exist.
+3. **``python -m`` module references** — every ``python -m some.module``
+   in a fenced code block must be an importable module.
+
+Exit code 0 when everything passes, 1 otherwise (with one line per
+failure). Run it locally with::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```")
+IMPORT_RE = re.compile(r"^\s*(?:import\s+[\w.]+|from\s+[\w.]+\s+import\s+\S)")
+PYTHON_M_RE = re.compile(r"python(?:3)?\s+(?:-u\s+)?-m\s+([\w.]+)")
+
+
+def doc_files() -> List[Path]:
+    """README plus every markdown file under docs/."""
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("**/*.md"))
+    return [f for f in files if f.exists()]
+
+
+def iter_links(text: str) -> Iterator[str]:
+    """Every markdown link target, fenced code blocks excluded."""
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        yield from LINK_RE.findall(line)
+
+
+def iter_fenced_lines(text: str) -> Iterator[str]:
+    """Every line inside a fenced code block."""
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            yield line
+
+
+def check_links(path: Path, text: str) -> List[str]:
+    """Relative link targets that do not resolve from ``path``'s dir."""
+    failures = []
+    for target in iter_links(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            failures.append(f"{path.relative_to(REPO_ROOT)}: broken link "
+                            f"-> {target}")
+    return failures
+
+
+def collect_import_lines(files: List[Tuple[Path, str]]) -> List[str]:
+    """Unique import statements found in any fenced code block."""
+    seen = []
+    for _, text in files:
+        for line in iter_fenced_lines(text):
+            stripped = line.strip()
+            if IMPORT_RE.match(stripped) and stripped not in seen:
+                seen.append(stripped)
+    return seen
+
+
+def collect_python_m_modules(files: List[Tuple[Path, str]]) -> List[str]:
+    """Unique ``python -m`` module names found in fenced code blocks."""
+    seen = []
+    for _, text in files:
+        for line in iter_fenced_lines(text):
+            for module in PYTHON_M_RE.findall(line):
+                if module not in seen:
+                    seen.append(module)
+    return seen
+
+
+def run_snippet_imports(imports: List[str], modules: List[str]) -> List[str]:
+    """Execute the import lines + module lookups in one subprocess."""
+    if not imports and not modules:
+        return []
+    program = "\n".join(
+        imports
+        + ["import importlib.util"]
+        + [
+            (
+                f"assert importlib.util.find_spec({module!r}) is not None, "
+                f"'python -m {module}: no such module'"
+            )
+            for module in modules
+        ]
+    )
+    env_path = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", program],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={**__import__("os").environ, "PYTHONPATH": env_path},
+    )
+    if proc.returncode != 0:
+        tail = proc.stderr.strip().splitlines()[-1] if proc.stderr else "?"
+        return [f"snippet imports failed: {tail}"]
+    return []
+
+
+def main() -> int:
+    """Run every check; print failures; return a process exit code."""
+    files = [(path, path.read_text(encoding="utf-8")) for path in doc_files()]
+    failures: List[str] = []
+    for path, text in files:
+        failures += check_links(path, text)
+    imports = collect_import_lines(files)
+    modules = collect_python_m_modules(files)
+    failures += run_snippet_imports(imports, modules)
+    for failure in failures:
+        print(f"FAIL {failure}")
+    print(
+        f"checked {len(files)} files, {len(imports)} import lines, "
+        f"{len(modules)} `python -m` modules: "
+        + ("FAILED" if failures else "ok")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
