@@ -1,0 +1,128 @@
+"""E12 — recovery time and goodput under an injected mid-flush worker kill.
+
+The self-healing contract says worker death is *masked*: the pool respawns
+the dead child in place and replays its batches onto the pool within the
+same flush, byte-identically to a fault-free run.  This experiment measures
+what that masking costs.  The same trace runs twice through a two-worker
+process pool:
+
+* **fault-free**: no injected faults — the baseline wall-clock;
+* **faulted**: worker 0 is killed (``os._exit``) after its first batch of
+  the main flush, mid-trace, so the pool must detect the EOF, respawn the
+  child, and replay the lost batches.
+
+Headline numbers recorded in ``BENCH_runtime.json`` under ``faults``:
+
+* ``goodput_ratio`` — faulted goodput (ok responses/s) over fault-free
+  goodput.  CI guards ``>= 0.7``: recovery may cost real time (a process
+  respawn + recompiles on the replayed batches) but must never halve
+  throughput on this workload.
+* ``recovery_overhead_s`` — extra wall-clock the faulted run paid, the
+  end-to-end recovery time for one worker death.
+* ``byte_identical`` — the masked run produced exactly the fault-free
+  responses (asserted before anything is timed or recorded).
+
+The pool uses the ``fork`` start method: respawn cost is then dominated by
+the lost cache state, not by a fresh interpreter re-importing the world —
+matching how a production supervisor would keep respawn cheap.
+"""
+
+import time
+
+import pytest
+from conftest import record_bench, run_once
+
+from repro.runtime import TraceConfig, WorkerPool, synthetic_trace
+from repro.runtime.faults import FaultPlan
+
+TRACE = TraceConfig(
+    size=120,
+    apps=["hash-table", "search", "murmur3"],
+    backend_mix={"vrda": 1.0},
+    distinct_shapes=2,
+    n_threads=2,
+    seed=21,
+)
+
+#: The wire-identity fields (cache-hit flags excluded by design — see
+#: tests/runtime/test_pool.py).
+PAYLOAD_FIELDS = ("request_id", "app", "backend", "ok", "error", "outputs",
+                  "correct", "modeled_gbs", "modeled_runtime_s", "batch_id")
+
+KILL_PLAN = FaultPlan.from_spec(
+    [{"kind": "kill", "worker": 0, "after_batches": 1}]
+)
+
+
+def _run(fault_plan):
+    """One timed trace replay; returns (payloads, stats) for the run."""
+    pool = WorkerPool(
+        workers=2,
+        mode="process",
+        mp_context="fork",
+        fault_plan=fault_plan,
+    )
+    with pool:
+        started = time.perf_counter()
+        report = pool.process(synthetic_trace(TRACE))
+        elapsed = time.perf_counter() - started
+    ok = sum(1 for r in report.responses if r.error is None)
+    payloads = [tuple(getattr(r, f) for f in PAYLOAD_FIELDS)
+                for r in report.responses]
+    return payloads, {
+        "elapsed_s": elapsed,
+        "ok": ok,
+        "goodput_rps": ok / max(elapsed, 1e-9),
+        "worker_restarts": report.worker_restarts,
+        "replayed_batches": report.replayed_batches,
+    }
+
+
+def _experiment():
+    clean_payloads, clean = _run(None)
+    faulted_payloads, faulted = _run(KILL_PLAN)
+    # Masking must be perfect before its cost is worth measuring.
+    assert faulted_payloads == clean_payloads, "recovery was not byte-identical"
+    assert faulted["worker_restarts"] >= 1, "the injected kill never fired"
+    assert faulted["replayed_batches"] >= 1, "nothing was replayed"
+    assert faulted["ok"] == TRACE.size
+    return {
+        "trace_requests": TRACE.size,
+        "workers": 2,
+        "mode": "process/fork",
+        "fault": "kill worker 0 after batch 1 (mid-flush)",
+        "byte_identical": True,
+        "fault_free": {
+            "elapsed_s": round(clean["elapsed_s"], 4),
+            "goodput_rps": round(clean["goodput_rps"], 1),
+        },
+        "faulted": {
+            "elapsed_s": round(faulted["elapsed_s"], 4),
+            "goodput_rps": round(faulted["goodput_rps"], 1),
+            "worker_restarts": faulted["worker_restarts"],
+            "replayed_batches": faulted["replayed_batches"],
+        },
+        "recovery_overhead_s": round(
+            max(0.0, faulted["elapsed_s"] - clean["elapsed_s"]), 4
+        ),
+        "goodput_ratio": round(
+            faulted["goodput_rps"] / max(clean["goodput_rps"], 1e-9), 4
+        ),
+    }
+
+
+@pytest.mark.benchmark(group="runtime-faults")
+def test_goodput_under_injected_worker_kill(benchmark):
+    """Recovery must stay cheap: goodput under faults >= half of fault-free."""
+    results = run_once(benchmark, _experiment)
+    record_bench("faults", results)
+    print(
+        f"\nfault recovery: goodput {results['faulted']['goodput_rps']} rps "
+        f"faulted vs {results['fault_free']['goodput_rps']} rps clean "
+        f"(ratio {results['goodput_ratio']}), overhead "
+        f"{results['recovery_overhead_s']}s, "
+        f"{results['faulted']['worker_restarts']} restart(s), "
+        f"{results['faulted']['replayed_batches']} replayed batch(es)"
+    )
+    # Soft in-test floor; CI guards the committed BENCH number at 0.7.
+    assert results["goodput_ratio"] >= 0.5

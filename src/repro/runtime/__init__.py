@@ -16,7 +16,12 @@ serving layer:
   workers using the admission policies shared with the Figure 14 simulator.
 * :mod:`repro.runtime.pool` — real multi-worker execution: N inline or
   ``multiprocessing`` workers, each owning its own program cache, fed by
-  cache-affinity batch dispatch with residency feedback.
+  cache-affinity batch dispatch with residency feedback; dead or hung
+  workers are respawned in place and their batches replayed (fail-fast
+  only once a circuit breaker trips).
+* :mod:`repro.runtime.faults` — injectable fault plans (kill/hang a
+  worker, delay/drop a pipe reply, corrupt a disk-cache entry) for chaos
+  tests and the recovery benchmark, threaded through ``--fault-plan``.
 * :mod:`repro.runtime.server` / :mod:`repro.runtime.client` — persistent
   NDJSON-over-TCP service front-end and its client (plus the CI smoke
   drivers, ``python -m repro.runtime.client --smoke`` / ``--smoke-http``).
@@ -47,6 +52,7 @@ from typing import TYPE_CHECKING
 
 from repro.runtime.cache import CacheStats, LRUCache, ProgramCache, program_key
 from repro.runtime.engine import Batch, Engine, EngineError, Request, Response
+from repro.runtime.faults import Fault, FaultInjector, FaultPlan, load_fault_plan
 from repro.runtime.pool import (
     PoolError,
     PoolReport,
@@ -67,6 +73,7 @@ if TYPE_CHECKING:
 # resolve lazily for the same reason (its http module imports server).
 _LAZY_EXPORTS = {
     "ClientError": "repro.runtime.client",
+    "ConnectionLostError": "repro.runtime.client",
     "OverloadedError": "repro.runtime.client",
     "RuntimeClient": "repro.runtime.client",
     "spawn_server": "repro.runtime.client",
@@ -96,9 +103,13 @@ __all__ = [
     "CPUBaselineBackend",
     "CacheStats",
     "ClientError",
+    "ConnectionLostError",
     "DEFAULT_TRACE_APPS",
     "Engine",
     "EngineError",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
     "FunctionalVRDABackend",
     "GPUBaselineBackend",
     "HttpGateway",
@@ -120,6 +131,7 @@ __all__ = [
     "WorkerPool",
     "WorkerReport",
     "WorkerSnapshot",
+    "load_fault_plan",
     "program_key",
     "spawn_server",
     "synthetic_trace",

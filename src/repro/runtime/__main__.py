@@ -26,6 +26,7 @@ from repro.core.columnar import EXECUTOR_CHOICES
 from repro.eval.tables import format_rows
 from repro.runtime.cache import ProgramCache
 from repro.runtime.engine import Engine
+from repro.runtime.faults import load_fault_plan
 from repro.runtime.pool import POOL_MODES, WorkerPool
 from repro.runtime.scheduler import ShardScheduler
 from repro.runtime.trace import DEFAULT_TRACE_APPS, TraceConfig, synthetic_trace
@@ -85,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="dispatch pool batches on measured per-worker "
                              "service rates (EWMA of flush wall-clock) "
                              "instead of assuming unit worker scales")
+    parser.add_argument("--fault-plan", type=str, default=None,
+                        help="DEV ONLY: inject faults into pool workers — "
+                             "inline JSON or @path to a file, e.g. "
+                             "'[{\"kind\": \"kill\", \"worker\": 0, "
+                             "\"after_batches\": 1}]'; the pool must mask "
+                             "them (pool mode only)")
     return parser
 
 
@@ -101,6 +108,7 @@ def _run_pooled(args: argparse.Namespace, requests: List) -> int:
         rate_dispatch=args.rate_dispatch,
         disk_cache_dir=args.disk_cache,
         executor=args.executor,
+        fault_plan=load_fault_plan(args.fault_plan),
     )
     with pool:
         started = time.perf_counter()
@@ -119,6 +127,9 @@ def _run_pooled(args: argparse.Namespace, requests: List) -> int:
           f"rate-dispatch={'on' if args.rate_dispatch else 'off'}")
     print(f"served          : {served} ok, {len(responses) - served} errors, "
           f"{wrong} incorrect results")
+    if pool.worker_restarts or args.fault_plan:
+        print(f"faults          : {pool.worker_restarts} worker restarts, "
+              f"{pool.replayed_batches} batches replayed")
     print(f"wall time       : {elapsed:.3f} s  "
           f"({len(requests) / max(elapsed, 1e-9):.1f} requests/s)")
     print(f"program cache   : {program.hits} hits / {program.lookups} lookups "
@@ -137,7 +148,9 @@ def _run_pooled(args: argparse.Namespace, requests: List) -> int:
         "rate_rps": round(s.service_rate_rps, 1),
     } for s in report.workers]
     print(format_rows(rows))
-    return 0
+    # Nonzero when anything failed, so fault-injected smoke runs in CI can
+    # assert recovery ("all responses ok") from the exit code alone.
+    return 0 if served == len(responses) else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -20,6 +20,7 @@ tier (see :mod:`repro.runtime.engine`).
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 from collections import OrderedDict
 from dataclasses import dataclass, replace
@@ -225,6 +226,8 @@ class ProgramCache:
         if disk and self.disk_dir is not None:
             for path in self.disk_dir.glob("*.pkl"):
                 path.unlink()
+            for path in self.disk_dir.glob("*.pkl.tmp-*"):
+                path.unlink()
 
     # -- disk tier ----------------------------------------------------------
 
@@ -239,15 +242,33 @@ class ProgramCache:
             with path.open("rb") as handle:
                 return pickle.load(handle)
         except Exception:
-            return None  # corrupt entry: fall through to a fresh compile
+            # Corrupt entry (truncated write, bad bytes, stale format): a
+            # miss, never an error.  Unlink it so the recompiled program can
+            # be stored cleanly instead of hitting the same garbage forever.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
 
     def _store_disk(self, key: str, program: CompiledProgram) -> None:
         path = self._disk_path(key)
         if path is None:
             return
+        # Crash-safe write: pickle into a same-directory temp file, then
+        # atomically rename over the final path.  A worker killed mid-write
+        # can leave a stray temp file but never a truncated entry.
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
         try:
-            with path.open("wb") as handle:
+            with tmp.open("wb") as handle:
                 pickle.dump(program, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
             self._memory.stats.disk_writes += 1
         except Exception:
-            pass  # unpicklable program: memory tier still serves it
+            # Unpicklable program: memory tier still serves it.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

@@ -46,6 +46,17 @@ class OverloadedError(ClientError):
         self.retry_after_s = retry_after_s
 
 
+class ConnectionLostError(ClientError):
+    """The connection dropped mid-round-trip (reset, EOF, broken pipe).
+
+    Distinct from a plain :class:`ClientError` so callers — and
+    :meth:`RuntimeClient.request` itself — can tell "the server is gone or
+    restarting, reconnect and retry" apart from "the reply was garbage" or
+    "the operation timed out" (where the request may still be executing and
+    a blind retry is not safe for non-idempotent work).
+    """
+
+
 class RuntimeClient:
     """Blocking NDJSON client for one :class:`RuntimeServer` connection.
 
@@ -56,6 +67,9 @@ class RuntimeClient:
     times :meth:`request`/:meth:`batch` re-send after an overload envelope,
     sleeping the server's ``retry_after_s`` hint (clamped to
     ``max_backoff_s``) between attempts; 0 surfaces the envelope directly.
+    ``reconnect_retries`` bounds how many times :meth:`request` reconnects
+    and re-sends after the connection drops mid-round-trip (idempotent
+    single requests only); 0 surfaces :class:`ConnectionLostError`.
     """
 
     def __init__(
@@ -67,6 +81,7 @@ class RuntimeClient:
         connect_timeout: Optional[float] = 10.0,
         connect_retries: int = 0,
         max_retries_429: int = 0,
+        reconnect_retries: int = 1,
         backoff_s: float = 0.05,
         max_backoff_s: float = 2.0,
         sleep: Callable[[float], None] = time.sleep,
@@ -75,27 +90,36 @@ class RuntimeClient:
         self.port = port
         self.timeout = timeout
         self.max_retries_429 = max_retries_429
+        self.reconnect_retries = max(0, reconnect_retries)
         self.backoff_s = backoff_s
         self.max_backoff_s = max_backoff_s
         self._sleep = sleep
-        attempts = max(0, connect_retries) + 1
-        delay = max(backoff_s, 1e-3)
+        self._connect_timeout = connect_timeout
+        self._connect_retries = max(0, connect_retries)
+        self._connect()
+
+    def _connect(self) -> None:
+        """(Re-)establish the connection with bounded, backed-off retries."""
+        attempts = self._connect_retries + 1
+        delay = max(self.backoff_s, 1e-3)
         last_error: Optional[OSError] = None
         for attempt in range(attempts):
             try:
                 self._socket = socket.create_connection(
-                    (host, port), timeout=connect_timeout
+                    (self.host, self.port), timeout=self._connect_timeout
                 )
                 break
             except OSError as error:
                 last_error = error
                 if attempt + 1 < attempts:
                     self._sleep(delay)
-                    delay = min(delay * 2, max_backoff_s)
+                    delay = min(delay * 2, self.max_backoff_s)
         else:
-            raise ClientError(f"cannot connect to {host}:{port}: {last_error}")
+            raise ClientError(
+                f"cannot connect to {self.host}:{self.port}: {last_error}"
+            )
         #: Established: every read/write is bounded by the op timeout.
-        self._socket.settimeout(timeout)
+        self._socket.settimeout(self.timeout)
         self._file = self._socket.makefile("rwb")
 
     def close(self) -> None:
@@ -117,12 +141,16 @@ class RuntimeClient:
             self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
             self._file.flush()
             line = self._file.readline()
-        except (TimeoutError, OSError) as error:
+        except TimeoutError as error:
+            # Timeouts are NOT connection loss: the request may still be
+            # executing server-side, so no automatic retry.
             raise ClientError(
                 f"server round-trip failed after {self.timeout}s: {error}"
             )
+        except OSError as error:
+            raise ConnectionLostError(f"connection lost mid-round-trip: {error}")
         if not line:
-            raise ClientError("server closed the connection")
+            raise ConnectionLostError("server closed the connection")
         try:
             return json.loads(line)
         except json.JSONDecodeError as error:
@@ -159,9 +187,26 @@ class RuntimeClient:
         return self.roundtrip({"op": "stats"})
 
     def request(self, **fields: Any) -> Dict[str, Any]:
-        """Serve one request, e.g. ``client.request(app="strlen", seed=1)``."""
+        """Serve one request, e.g. ``client.request(app="strlen", seed=1)``.
+
+        Single requests are idempotent (re-serving one yields the same
+        response, at worst re-billing a cache hit), so a connection lost
+        mid-round-trip is healed transparently: reconnect, re-send, up to
+        ``reconnect_retries`` times with the same bounded backoff the 429
+        path uses.  Batches are not retried this way — re-flushing a big
+        batch after a mid-flight drop is the caller's call.
+        """
         payload = {"op": "request"}
         payload.update(fields)
+        delay = max(self.backoff_s, 1e-3)
+        for _ in range(self.reconnect_retries):
+            try:
+                return self._roundtrip_with_backoff(payload)
+            except ConnectionLostError:
+                self.close()
+                self._sleep(delay)
+                delay = min(delay * 2, self.max_backoff_s)
+                self._connect()
         return self._roundtrip_with_backoff(payload)
 
     def batch(self, requests: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
@@ -252,6 +297,10 @@ def _smoke(args: argparse.Namespace) -> int:
     server_args = ["--workers", str(args.workers)]
     server_args += ["--pool-mode", args.pool_mode]
     server_args += ["--policy", args.policy]
+    if args.fault_plan:
+        # Chaos smoke: the server's pool must mask the injected faults —
+        # every response below still has to come back ok.
+        server_args += ["--fault-plan", args.fault_plan]
     process, host, port = spawn_server(server_args)
     try:
         with RuntimeClient(host, port, connect_retries=3) as client:
@@ -444,6 +493,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="times to retry a shed (429) request, honoring the server's "
         "retry_after_s hint with bounded exponential backoff",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        help="smoke mode only: forward this fault plan to the spawned "
+        "server; the pool must mask every injected fault for the smoke "
+        "to pass",
     )
     return parser
 

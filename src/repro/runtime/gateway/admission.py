@@ -316,10 +316,13 @@ class PoolService:
                         self.admission.observe_drain(submitted, flush_elapsed)
                     self.admission.update_rates(self.pool.measured_rates())
         except PoolError as error:
-            # A lost worker closed the pool; a front door that can never
-            # serve again must tell its servers to exit (cleanly) so a
-            # supervisor restarts them, not linger as listening zombies.
-            # Clients still get an error envelope per request.
+            # Transient worker loss never lands here — the pool masks it by
+            # respawning and replaying.  A PoolError means the circuit
+            # breaker tripped (or a respawn itself failed) and the pool
+            # closed: a front door that can never serve again must tell its
+            # servers to exit (cleanly) so a supervisor restarts them, not
+            # linger as listening zombies.  Clients still get an error
+            # envelope per request.
             for callback in self._failure_callbacks:
                 callback()
             message = f"worker pool failed: {error}; server shutting down"
@@ -339,6 +342,27 @@ class PoolService:
         return ServeResult(results=results, queue_wait_s=wait)
 
     # -- stats --------------------------------------------------------------
+
+    def health_payload(self) -> Dict[str, Any]:
+        """Liveness + degradation view, cheap enough for ``/healthz``.
+
+        Reads only lock-free pool counters (never the pool lock), so health
+        probes stay fast even while a long flush holds the pool.  ``ok`` is
+        True as long as the pool can still serve — transient worker loss is
+        *degraded*, not down: the pool respawned a worker inside the current
+        breaker window and caches are rewarming, but traffic flows.  A pool
+        that tripped the breaker shut the server down, so probes then fail
+        at the connection level, not here.
+        """
+        pool = self.pool
+        recent = getattr(pool, "recent_restarts", lambda: 0)()
+        return {
+            "ok": True,
+            "degraded": recent > 0,
+            "recent_restarts": recent,
+            "worker_restarts": getattr(pool, "worker_restarts", 0),
+            "replayed_batches": getattr(pool, "replayed_batches", 0),
+        }
 
     def queue_wait_quantile(self, q: float) -> float:
         """The ``q``-quantile of recent pool-lock queue waits, seconds."""
@@ -360,6 +384,7 @@ class PoolService:
             "shed": self.shed,
             "queue_wait_p50_s": round(self.queue_wait_quantile(0.50), 6),
             "queue_wait_p99_s": round(self.queue_wait_quantile(0.99), 6),
+            "health": self.health_payload(),
             "pool": pool_stats,
         }
         if self.admission is not None:

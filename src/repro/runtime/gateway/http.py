@@ -4,7 +4,8 @@ Like the NDJSON server, the gateway hand-rolls its wire protocol on the
 stdlib: an ``asyncio.start_server`` accept loop, a bounded request parser,
 and keep-alive connections.  Endpoints:
 
-* ``GET /healthz`` — liveness, never touches the pool.
+* ``GET /healthz`` — liveness + degraded state (recent worker respawns),
+  from lock-free pool counters — never waits on the pool lock.
 * ``GET /v1/stats`` — served/shed counters, queue-wait percentiles, the
   admission snapshot, and the pool's per-worker cache stats.
 * ``POST /v1/request`` — one JSON request object, one JSON response.
@@ -418,7 +419,10 @@ class HttpGateway:
                 405, f"{request.path} answers {'/'.join(methods)} only"
             )
         if request.path == "/healthz":
-            payload = {"ok": True, "version": GATEWAY_VERSION}
+            # Lock-free pool counters only: health probes must answer even
+            # while a long flush holds the pool lock.
+            payload = self.service.health_payload()
+            payload["version"] = GATEWAY_VERSION
             await self._write(
                 writer, _response_bytes(200, payload, request.keep_alive)
             )

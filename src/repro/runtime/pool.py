@@ -24,6 +24,22 @@ flush the workers report their actual cache residency back, and the
 dispatcher seeds the policy with those reports before the next round — the
 feedback loop the ROADMAP calls "route requests to the worker that has the
 program resident".
+
+The pool is **self-healing**: worker death is a steady-state event, not a
+crash.  A dead worker (EOF or broken pipe) or a hung one (no flush reply
+inside a deadline derived from its measured EWMA service rate) is respawned
+in place with its same :class:`WorkerConfig`, and the batches it was
+holding are requeued onto the surviving workers *within the same flush* —
+responses are deterministic and the memoized-response tier is per-worker,
+so replaying a batch reproduces the exact responses a fault-free run would
+have produced.  Cache-affinity residency is re-seeded from the lost
+worker's last snapshot, so routing stays stable while the respawned child
+rewarms (its disk tier, when configured, survives the crash).  Repeated
+failure trips a circuit breaker — more than ``max_worker_restarts``
+respawns inside ``restart_window_s`` closes the pool and raises
+:class:`PoolError`, the unrecoverable-death signal the serving layer turns
+into a clean shutdown.  :class:`~repro.runtime.faults.FaultPlan` injection
+(``WorkerConfig.fault_plan``) exercises every one of these paths on demand.
 """
 
 from __future__ import annotations
@@ -32,12 +48,13 @@ import multiprocessing
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.columnar import resolve_executor
 from repro.errors import ReproError
 from repro.runtime.cache import CacheStats, ProgramCache
 from repro.runtime.engine import Batch, Engine, Request, Response
+from repro.runtime.faults import FaultInjector, FaultPlan, InjectedFault
 from repro.runtime.scheduler import ScheduleReport, ShardScheduler
 from repro.sim.policies import (
     AdmissionPolicy,
@@ -51,7 +68,11 @@ POOL_MODES = ("inline", "process")
 
 
 class PoolError(ReproError):
-    """The worker pool was misconfigured or lost a worker."""
+    """The pool was misconfigured or died unrecoverably (breaker open)."""
+
+
+class _WorkerFailure(Exception):
+    """One worker was lost (died, hung, or pipe broke); the pool recovers."""
 
 
 @dataclass
@@ -74,17 +95,16 @@ class WorkerConfig:
     #: None/"auto" (columnar when numpy is available).  Picklable, so process
     #: workers inherit the choice across the spawn boundary.
     executor: Optional[str] = None
+    #: Injected faults for chaos tests and the recovery benchmark; picklable
+    #: like every other field, so process workers arm their share after the
+    #: spawn.  ``None`` (production) injects nothing.
+    fault_plan: Optional[FaultPlan] = None
 
     def build_engine(self, index: int = 0) -> Engine:
         """Construct this worker's private engine (one per worker index)."""
-        disk_dir = (
-            Path(self.disk_cache_dir) / f"worker-{index}"
-            if self.disk_cache_dir is not None
-            else None
-        )
         return Engine(
             program_cache=ProgramCache(
-                capacity=self.cache_capacity, disk_dir=disk_dir
+                capacity=self.cache_capacity, disk_dir=self.disk_dir(index)
             ),
             result_cache_capacity=self.result_cache_capacity,
             max_batch_size=self.max_batch_size,
@@ -92,6 +112,31 @@ class WorkerConfig:
             intra_batch_workers=self.intra_batch_workers,
             executor=self.executor,
         )
+
+    def disk_dir(self, index: int) -> Optional[Path]:
+        """This worker's private on-disk cache directory (None = memory only)."""
+        if self.disk_cache_dir is None:
+            return None
+        return Path(self.disk_cache_dir) / f"worker-{index}"
+
+    def build_injector(self, index: int, inline: bool) -> Optional[FaultInjector]:
+        """The fault-injection arm for one worker (None when no faults)."""
+        if self.fault_plan is None or not self.fault_plan.for_worker(index):
+            return None
+        return FaultInjector(
+            self.fault_plan, index, inline=inline, disk_dir=self.disk_dir(index)
+        )
+
+    def respawned(self, index: int) -> "WorkerConfig":
+        """The config a respawned worker restarts with.
+
+        Identical except that already-consumed one-shot faults for this
+        worker are stripped (see :meth:`FaultPlan.respawn_plan`), so one
+        injected kill exercises exactly one recovery.
+        """
+        if self.fault_plan is None:
+            return self
+        return replace(self, fault_plan=self.fault_plan.respawn_plan(index))
 
 
 @dataclass
@@ -139,7 +184,10 @@ def _crash_responses(batch: Batch, error: Exception) -> List[Response]:
 
 
 def _run_batches(
-    engine: Engine, batches: Sequence[Batch], service_delay_s: float = 0.0
+    engine: Engine,
+    batches: Sequence[Batch],
+    service_delay_s: float = 0.0,
+    injector: Optional[FaultInjector] = None,
 ) -> Tuple[List[Response], int, float]:
     """Execute a worker's batch list, timing its wall clock.
 
@@ -147,16 +195,24 @@ def _run_batches(
     elapsed_s)`` so the caller can fold the measurement into its service-rate
     estimate.  ``service_delay_s`` sleeps per served request — the
     skewed-worker knob, charged inside the measured window on purpose.
+    ``injector`` is consulted at batch boundaries; an injected crash
+    propagates (it must look like worker death, not an error response).
     """
     responses: List[Response] = []
     served = 0
     started = time.perf_counter()
     for batch in batches:
+        if injector is not None:
+            injector.on_batch_start()
         served += len(batch)
         try:
             responses.extend(engine.execute_batch(batch))
+        except InjectedFault:
+            raise
         except Exception as error:  # noqa: BLE001 - a worker must not die
             responses.extend(_crash_responses(batch, error))
+        if injector is not None:
+            injector.on_batch_done()
         if service_delay_s > 0.0:
             time.sleep(service_delay_s * len(batch))
     return responses, served, time.perf_counter() - started
@@ -185,6 +241,7 @@ def _snapshot(
 def _process_worker_main(connection, index: int, config: WorkerConfig) -> None:
     """Entry point of one pool child: serve ``run`` messages until ``stop``."""
     engine = config.build_engine(index)
+    injector = config.build_injector(index, inline=False)
     batches_done = 0
     requests_done = 0
     busy_s = 0.0
@@ -198,7 +255,7 @@ def _process_worker_main(connection, index: int, config: WorkerConfig) -> None:
             break
         batches = message[1]
         responses, served, elapsed = _run_batches(
-            engine, batches, config.service_delay_s
+            engine, batches, config.service_delay_s, injector
         )
         batches_done += len(batches)
         requests_done += served
@@ -207,7 +264,8 @@ def _process_worker_main(connection, index: int, config: WorkerConfig) -> None:
         snapshot = _snapshot(
             index, engine, batches_done, requests_done, busy_s, estimator.rate
         )
-        connection.send((responses, snapshot))
+        if injector is None or injector.before_reply():
+            connection.send((responses, snapshot))
     connection.close()
 
 
@@ -217,7 +275,11 @@ class _InlineWorker:
     def __init__(self, index: int, config: WorkerConfig):
         self.index = index
         self.config = config
-        self.engine = config.build_engine(index)
+        self._reset()
+
+    def _reset(self) -> None:
+        self.engine = self.config.build_engine(self.index)
+        self._injector = self.config.build_injector(self.index, inline=True)
         self._batches = 0
         self._requests = 0
         self._busy_s = 0.0
@@ -226,9 +288,18 @@ class _InlineWorker:
 
     def submit(self, batches: Sequence[Batch]) -> None:
         """Execute the batches synchronously; results wait for collect()."""
-        responses, served, elapsed = _run_batches(
-            self.engine, batches, self.config.service_delay_s
-        )
+        try:
+            responses, served, elapsed = _run_batches(
+                self.engine, batches, self.config.service_delay_s, self._injector
+            )
+            if self._injector is not None:
+                # Process-worker parity: a kill/hang due right after the
+                # flush's work ("die before the reply") fires here too.
+                # Reply-pipe faults have nothing to act on inline.
+                self._injector.before_reply()
+        except InjectedFault as fault:
+            self._pending = None
+            raise _WorkerFailure(str(fault)) from fault
         self._batches += len(batches)
         self._requests += served
         self._busy_s += elapsed
@@ -243,11 +314,26 @@ class _InlineWorker:
         )
         self._pending = (responses, snapshot)
 
-    def collect(self) -> Tuple[List[Response], WorkerSnapshot]:
-        """Return (and clear) the responses/snapshot of the last submit()."""
+    def collect(
+        self, deadline_s: Optional[float] = None
+    ) -> Tuple[List[Response], WorkerSnapshot]:
+        """Return (and clear) the responses/snapshot of the last submit().
+
+        ``deadline_s`` is accepted for interface parity with the process
+        worker; an inline worker already finished inside submit().
+        """
         assert self._pending is not None, "collect() before submit()"
         pending, self._pending = self._pending, None
         return pending
+
+    def respawn(self) -> None:
+        """Rebuild the engine in place — the inline analogue of a new child.
+
+        Counters, caches, and the rate estimator restart from zero exactly
+        as a fresh process would; consumed one-shot faults stay consumed.
+        """
+        self.config = self.config.respawned(self.index)
+        self._reset()
 
     def stop(self) -> None:
         """Nothing to tear down for an in-process worker."""
@@ -259,31 +345,74 @@ class _ProcessWorker:
 
     def __init__(self, index: int, config: WorkerConfig, context):
         self.index = index
-        self.connection, child = context.Pipe()
-        self.process = context.Process(
+        self.config = config
+        self.context = context
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self.connection, child = self.context.Pipe()
+        self.process = self.context.Process(
             target=_process_worker_main,
-            args=(child, index, config),
+            args=(child, self.index, self.config),
             daemon=True,
         )
         self.process.start()
         child.close()
 
     def submit(self, batches: Sequence[Batch]) -> None:
-        """Ship the batches to the child; raises PoolError if it is gone."""
+        """Ship the batches to the child; raises if the child is gone."""
         try:
             self.connection.send(("run", batches))
         except (BrokenPipeError, OSError) as error:
-            raise PoolError(f"pool worker {self.index} is gone: {error}")
+            raise _WorkerFailure(f"worker {self.index} is gone: {error}")
 
-    def collect(self) -> Tuple[List[Response], WorkerSnapshot]:
-        """Block for the child's responses; raises PoolError if it died."""
+    def collect(
+        self, deadline_s: Optional[float] = None
+    ) -> Tuple[List[Response], WorkerSnapshot]:
+        """Block for the child's reply; raises if it died or blew a deadline.
+
+        ``deadline_s`` bounds the wait: a child that neither replies nor
+        dies inside it is declared hung (the caller kills and respawns it,
+        so a late reply can never desynchronize the pipe).  ``None`` waits
+        forever, the pre-supervision behaviour.
+        """
         try:
+            if deadline_s is not None and not self.connection.poll(deadline_s):
+                raise _WorkerFailure(
+                    f"worker {self.index} hung: no flush reply within "
+                    f"{deadline_s:.1f}s"
+                )
             return self.connection.recv()
         except EOFError as error:
-            raise PoolError(f"pool worker {self.index} died mid-batch") from error
+            raise _WorkerFailure(f"worker {self.index} died mid-batch") from error
+        except OSError as error:
+            raise _WorkerFailure(f"worker {self.index} pipe failed: {error}")
+
+    def respawn(self) -> None:
+        """Replace the child with a fresh one on a fresh pipe, in place.
+
+        The old child is killed outright (it is dead, hung, or poisoned —
+        never worth a graceful stop), its pipe is closed so no stale reply
+        can ever be read, and the new child starts from the same config
+        with consumed one-shot faults stripped.
+        """
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=10)
+        self.config = self.config.respawned(self.index)
+        self._spawn()
 
     def stop(self) -> None:
-        """Stop the child (politely, then by terminate) and close the pipe."""
+        """Stop the child — politely, then terminate, then kill.
+
+        Escalation never leaves a zombie: the process is always joined
+        before the pipe closes, and a child that survives ``terminate()``
+        (e.g. one wedged in uninterruptible state) gets ``kill()``.
+        """
         try:
             self.connection.send(("stop",))
         except (BrokenPipeError, OSError):
@@ -292,6 +421,9 @@ class _ProcessWorker:
         if self.process.is_alive():
             self.process.terminate()
             self.process.join(timeout=5)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join()
         self.connection.close()
 
 
@@ -303,6 +435,10 @@ class PoolReport:
     responses: List[Response]
     workers: List[WorkerSnapshot]
     schedule: ScheduleReport
+    #: Workers respawned during this flush (0 on the fault-free path).
+    worker_restarts: int = 0
+    #: Batches replayed onto survivors after a worker loss, this flush.
+    replayed_batches: int = 0
 
     @property
     def policy(self) -> str:
@@ -330,6 +466,8 @@ class PoolReport:
             "responses": len(self.responses),
             "ok": ok,
             "errors": len(self.responses) - ok,
+            "worker_restarts": self.worker_restarts,
+            "replayed_batches": self.replayed_batches,
             "program_cache": self.aggregate_program_stats().to_dict(),
             "result_cache": self.aggregate_result_stats().to_dict(),
             "workers": [w.to_dict() for w in self.workers],
@@ -338,13 +476,33 @@ class PoolReport:
 
 
 class WorkerPool:
-    """Executes engine batches across N cache-owning workers.
+    """Executes engine batches across N cache-owning, supervised workers.
 
     The pool is long-lived: submit/flush as many rounds as you like (the
     server does exactly that), then :meth:`close` it — or use it as a
     context manager.  ``policy`` accepts any :data:`repro.sim.policies`
     name or instance; ``cache-affinity`` (the default) is the one that
     exploits the per-worker program caches.
+
+    Worker loss is masked, not fatal: a dead or hung worker is respawned
+    in place and its batches are requeued within the same flush (see the
+    module docstring for the recovery contract).  The supervision knobs:
+
+    * ``max_worker_restarts`` / ``restart_window_s`` — the circuit
+      breaker.  More than this many respawns inside the window closes the
+      pool and raises :class:`PoolError`; ``0`` disables self-healing
+      entirely (any worker loss is immediately fatal).
+    * ``max_batch_replays`` — a batch that keeps killing its worker (a
+      poison batch) is converted to per-request error responses after this
+      many replays instead of looping.
+    * ``hang_deadline_factor`` / ``hang_deadline_min_s`` — a process
+      worker whose flush reply takes longer than ``factor ×`` its expected
+      service time (from its measured EWMA rate), floored at the minimum,
+      is declared hung and recovered.  ``hang_cold_deadline_s`` bounds
+      workers with no measured rate yet (fresh or just respawned);
+      ``None`` disables hang detection for them.
+    * ``fault_plan`` — injected faults for chaos testing (see
+      :mod:`repro.runtime.faults`).
     """
 
     def __init__(
@@ -363,6 +521,13 @@ class WorkerPool:
         disk_cache_dir: Optional[str] = None,
         mp_context: str = "spawn",
         executor: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_worker_restarts: int = 5,
+        restart_window_s: float = 30.0,
+        max_batch_replays: int = 3,
+        hang_deadline_factor: float = 8.0,
+        hang_deadline_min_s: float = 30.0,
+        hang_cold_deadline_s: Optional[float] = 120.0,
     ):
         if workers <= 0:
             raise PoolError("need at least one pool worker")
@@ -370,6 +535,15 @@ class WorkerPool:
             raise PoolError(f"unknown pool mode '{mode}'; choose from {POOL_MODES}")
         if service_delays is not None and len(service_delays) != workers:
             raise PoolError("service_delays must have one entry per worker")
+        if max_worker_restarts < 0:
+            raise PoolError("max_worker_restarts must be >= 0")
+        if fault_plan is not None:
+            for fault in fault_plan.faults:
+                if fault.worker >= workers:
+                    raise PoolError(
+                        f"fault plan targets worker {fault.worker} but the "
+                        f"pool has only {workers} workers"
+                    )
         # Validate eagerly so a bad --executor flag fails here, in the parent
         # process, instead of inside every spawned worker.
         resolve_executor(executor)
@@ -379,6 +553,16 @@ class WorkerPool:
         #: the workers' EWMA rates (from their snapshots) are converted to
         #: relative scales and installed in the shard scheduler.
         self.rate_dispatch = rate_dispatch
+        self.max_worker_restarts = max_worker_restarts
+        self.restart_window_s = restart_window_s
+        self.max_batch_replays = max(0, max_batch_replays)
+        self.hang_deadline_factor = hang_deadline_factor
+        self.hang_deadline_min_s = hang_deadline_min_s
+        self.hang_cold_deadline_s = hang_cold_deadline_s
+        #: Cumulative fault counters (never reset while the pool lives).
+        self.worker_restarts = 0
+        self.replayed_batches = 0
+        self._restart_times: List[float] = []
         self.config = WorkerConfig(
             cache_capacity=cache_capacity,
             result_cache_capacity=result_cache_capacity,
@@ -387,6 +571,7 @@ class WorkerPool:
             intra_batch_workers=intra_batch_workers,
             disk_cache_dir=disk_cache_dir,
             executor=executor,
+            fault_plan=fault_plan,
         )
         if service_delays is None:
             self._worker_configs = [self.config] * workers
@@ -466,7 +651,16 @@ class WorkerPool:
         return self.flush()
 
     def flush(self) -> PoolReport:
-        """Dispatch everything queued across the pool and gather responses."""
+        """Dispatch everything queued across the pool and gather responses.
+
+        Worker loss during the flush is masked: the lost worker is
+        respawned and its batches are redispatched onto the pool within
+        this same call, so the returned responses match a fault-free run
+        (deterministic replay).  Only a tripped circuit breaker, a failed
+        respawn, or an exhausted poison batch surfaces — the first two as
+        :class:`PoolError` after closing the pool, the last as per-request
+        error responses.
+        """
         if self._closed:
             raise PoolError("pool is closed")
         batches = self._front.coalesce()
@@ -480,36 +674,166 @@ class WorkerPool:
             [float(len(batch)) for batch in batches],
             keys=[batch.program_key for batch in batches],
         )
-        assigned: List[List[Batch]] = [[] for _ in range(self.workers)]
-        for batch, worker in zip(batches, schedule.assignments):
-            assigned[worker].append(batch)
         # Idle workers (no batches this flush) are skipped entirely: their
         # caches cannot have changed, so their previous snapshot still holds
         # and the single-request path costs one worker round-trip, not N.
-        active = [i for i in range(self.workers) if assigned[i]]
-        responses = list(failed)
+        pending: Dict[int, List[Batch]] = {}
+        for batch, worker in zip(batches, schedule.assignments):
+            pending.setdefault(worker, []).append(batch)
+        responses: List[Response] = list(failed)
         snapshots = list(self.last_snapshots)
-        try:
-            for index in active:
-                self._workers[index].submit(assigned[index])
-            for index in active:
-                worker_responses, snapshot = self._workers[index].collect()
-                responses.extend(worker_responses)
-                snapshots[index] = snapshot
-        except PoolError:
-            # A lost worker desynchronizes its pipe (and possibly others'
-            # pending replies); the pool cannot serve another flush safely.
-            self.close()
-            raise
+        flush_restarts = 0
+        flush_replays = 0
+        replay_counts: Dict[int, int] = {}
+        restarted: Set[int] = set()
+        while pending:
+            submitted: Dict[int, List[Batch]] = {}
+            lost: List[Tuple[int, List[Batch], str]] = []
+            for index in sorted(pending):
+                try:
+                    self._workers[index].submit(pending[index])
+                    submitted[index] = pending[index]
+                except _WorkerFailure as failure:
+                    lost.append((index, pending[index], str(failure)))
+            for index, assigned in submitted.items():
+                deadline = self._collect_deadline_s(
+                    index, assigned, cold=index in restarted
+                )
+                try:
+                    worker_responses, snapshot = self._workers[index].collect(
+                        deadline
+                    )
+                    responses.extend(worker_responses)
+                    snapshots[index] = snapshot
+                except _WorkerFailure as failure:
+                    lost.append((index, assigned, str(failure)))
+            pending = {}
+            if not lost:
+                break
+            retry: List[Batch] = []
+            for index, assigned, reason in lost:
+                self._recover_worker(index, reason)
+                flush_restarts += 1
+                restarted.add(index)
+                for batch in assigned:
+                    replays = replay_counts.get(batch.batch_id, 0) + 1
+                    replay_counts[batch.batch_id] = replays
+                    if replays > self.max_batch_replays:
+                        # A poison batch: it has now taken down a worker on
+                        # every replay.  Answer it with error responses so
+                        # the rest of the flush can complete.
+                        responses.extend(
+                            _crash_responses(
+                                batch,
+                                PoolError(
+                                    f"batch abandoned after "
+                                    f"{self.max_batch_replays} replays "
+                                    f"(last failure: {reason})"
+                                ),
+                            )
+                        )
+                    else:
+                        retry.append(batch)
+                        flush_replays += 1
+            if retry:
+                # Requeue onto the (now fully respawned) pool through the
+                # same affinity-aware scheduler as the original dispatch.
+                redispatch = self._scheduler.dispatch(
+                    [float(len(batch)) for batch in retry],
+                    keys=[batch.program_key for batch in retry],
+                )
+                for batch, worker in zip(retry, redispatch.assignments):
+                    pending.setdefault(worker, []).append(batch)
         responses.sort(key=lambda r: r.request_id)
+        # Snapshots of respawned workers that served no retry batch are
+        # deliberately left at their pre-crash value: the residency seed
+        # keeps routing their programs to the same index while the fresh
+        # child rewarms (its disk tier, if any, survived the crash).
         self._residency = [list(s.resident_keys) for s in snapshots]
         self.last_snapshots = snapshots
+        self.replayed_batches += flush_replays
         return PoolReport(
             mode=self.mode,
             responses=responses,
             workers=snapshots,
             schedule=schedule,
+            worker_restarts=flush_restarts,
+            replayed_batches=flush_replays,
         )
+
+    # -- supervision --------------------------------------------------------
+
+    def _collect_deadline_s(
+        self, index: int, batches: Sequence[Batch], cold: bool = False
+    ) -> Optional[float]:
+        """Reply deadline for one worker's flush (None = wait forever).
+
+        Derived from the worker's measured EWMA service rate: ``factor ×``
+        the expected service time of its assigned requests, floored at
+        ``hang_deadline_min_s``.  Workers with no measurement yet — fresh,
+        or just respawned (``cold``) and facing recompiles — get the
+        generous ``hang_cold_deadline_s`` instead.  Inline workers finish
+        inside submit(), so only process mode has deadlines at all.
+        """
+        if self.mode != "process":
+            return None
+        rate = self.last_snapshots[index].service_rate_rps
+        if cold or rate <= 0.0:
+            return self.hang_cold_deadline_s
+        requests = sum(len(batch) for batch in batches)
+        return max(
+            self.hang_deadline_min_s,
+            self.hang_deadline_factor * requests / rate,
+        )
+
+    def _recover_worker(self, index: int, reason: str) -> None:
+        """Respawn one lost worker, or trip the breaker and close the pool.
+
+        The breaker opens when this loss would exceed
+        ``max_worker_restarts`` respawns inside ``restart_window_s`` — the
+        pool is then closed and :class:`PoolError` raised, which the
+        serving layer treats as unrecoverable (clean shutdown for an
+        external supervisor).  A respawn that itself fails is equally
+        fatal.
+        """
+        now = time.monotonic()
+        self._restart_times = [
+            t for t in self._restart_times if now - t < self.restart_window_s
+        ]
+        if len(self._restart_times) >= self.max_worker_restarts:
+            self.close()
+            raise PoolError(
+                f"worker {index} lost ({reason}) after "
+                f"{len(self._restart_times)} respawns within "
+                f"{self.restart_window_s:.0f}s: circuit breaker open, "
+                f"pool closed"
+            )
+        try:
+            self._workers[index].respawn()
+        except Exception as error:  # noqa: BLE001 - a failed respawn is fatal
+            self.close()
+            raise PoolError(f"could not respawn worker {index}: {error}")
+        self._restart_times.append(now)
+        self.worker_restarts += 1
+
+    def recent_restarts(self) -> int:
+        """Worker respawns inside the current breaker window.
+
+        Nonzero means "degraded": the pool is serving, but capacity was
+        recently lost and caches are rewarming.  Health endpoints report
+        exactly this.
+        """
+        now = time.monotonic()
+        return sum(
+            1 for t in self._restart_times if now - t < self.restart_window_s
+        )
+
+    def fault_counters(self) -> Dict[str, int]:
+        """Cumulative fault counters (lock-free reads for health checks)."""
+        return {
+            "worker_restarts": self.worker_restarts,
+            "replayed_batches": self.replayed_batches,
+        }
 
     # -- stats --------------------------------------------------------------
 
@@ -536,6 +860,13 @@ class WorkerPool:
             "executor": resolve_executor(self.config.executor),
             "rate_dispatch": self.rate_dispatch,
             "worker_scales": [round(s, 4) for s in self._scheduler.worker_scales],
+            "faults": {
+                "worker_restarts": self.worker_restarts,
+                "replayed_batches": self.replayed_batches,
+                "recent_restarts": self.recent_restarts(),
+                "max_worker_restarts": self.max_worker_restarts,
+                "restart_window_s": self.restart_window_s,
+            },
             "workers": [s.to_dict() for s in self.last_snapshots],
             "program_cache": CacheStats.merged(
                 s.program_cache for s in self.last_snapshots

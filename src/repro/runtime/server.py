@@ -45,6 +45,7 @@ import threading
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.columnar import EXECUTOR_CHOICES
+from repro.runtime.faults import load_fault_plan
 from repro.runtime.gateway.admission import AdmissionController, PoolService
 from repro.runtime.pool import POOL_MODES, WorkerPool
 from repro.sim.policies import POLICIES
@@ -305,6 +306,30 @@ def build_parser() -> argparse.ArgumentParser:
              "(columnar when numpy is available; default); responses are "
              "bit-identical either way",
     )
+    parser.add_argument(
+        "--max-worker-restarts",
+        type=int,
+        default=5,
+        help="worker respawns tolerated within --restart-window before the "
+        "pool's circuit breaker trips and the server shuts down (default "
+        "5; 0 makes any worker loss immediately fatal)",
+    )
+    parser.add_argument(
+        "--restart-window",
+        type=float,
+        default=30.0,
+        help="sliding window in seconds for --max-worker-restarts "
+        "(default 30)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        help="DEV ONLY: inject faults into pool workers — inline JSON or "
+        "@path to a JSON file, e.g. "
+        "'[{\"kind\": \"kill\", \"worker\": 0, \"after_batches\": 1}]' "
+        "(kinds: kill, hang, delay-reply, drop-reply, corrupt-cache)",
+    )
     return parser
 
 
@@ -323,6 +348,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         disk_cache_dir=args.disk_cache,
         mp_context=args.mp_context,
         executor=args.executor,
+        fault_plan=load_fault_plan(args.fault_plan),
+        max_worker_restarts=args.max_worker_restarts,
+        restart_window_s=args.restart_window,
     )
     admission = None
     if not args.no_admission:

@@ -129,6 +129,32 @@ class TestProgramCache:
         assert not hit
         assert isinstance(program, CompiledProgram)
 
+    def test_corrupt_disk_entry_is_unlinked_and_rewritten(self, tmp_path):
+        cache = ProgramCache(capacity=4, disk_dir=tmp_path)
+        cache.get_or_compile(SQUARE)
+        entry = next(tmp_path.glob("*.pkl"))
+        entry.write_bytes(b"\x00garbage")
+        cache.clear()
+        cache.get_or_compile(SQUARE)  # miss: garbage unlinked, recompiled
+        # The recompile stored a clean entry over the garbage one, so a
+        # fresh instance hits disk again instead of re-reading bad bytes.
+        other = ProgramCache(capacity=4, disk_dir=tmp_path)
+        _, hit = other.get_or_compile(SQUARE)
+        assert hit
+        assert other.stats.disk_hits == 1
+
+    def test_disk_writes_are_atomic_with_no_temp_leftovers(self, tmp_path):
+        cache = ProgramCache(capacity=4, disk_dir=tmp_path)
+        cache.get_or_compile(SQUARE)
+        cache.get_or_compile(DOUBLE)
+        # Temp-then-replace writes: only final entries remain on disk.
+        assert not list(tmp_path.glob("*.tmp-*"))
+        assert len(list(tmp_path.glob("*.pkl"))) == 2
+        # clear(disk=True) sweeps stray temp files from a crashed writer too.
+        (tmp_path / "dead.pkl.tmp-123").write_bytes(b"partial")
+        cache.clear(disk=True)
+        assert not list(tmp_path.glob("*"))
+
     def test_cached_program_executes(self, tmp_path):
         from repro.core.memory import MemorySystem
 

@@ -104,7 +104,9 @@ class TestEndpoints:
     def test_healthz(self, gateway):
         status, _, payload = http_json(gateway, "GET", "/healthz")
         assert status == 200
-        assert payload == {"ok": True, "version": GATEWAY_VERSION}
+        assert payload == {"ok": True, "version": GATEWAY_VERSION,
+                           "degraded": False, "recent_restarts": 0,
+                           "worker_restarts": 0, "replayed_batches": 0}
 
     def test_single_request(self, gateway):
         status, _, payload = http_json(

@@ -119,11 +119,34 @@ class TestProcessPool:
             [payload(r) for r in single]
         assert all(r.correct for r in processed.responses)
 
-    def test_lost_worker_breaks_the_pool_instead_of_desyncing_it(self):
+    def test_externally_killed_worker_is_respawned_and_masked(self):
         trace = TraceConfig(size=4, apps=["search"],
                             backend_mix={"vrda": 1.0}, distinct_shapes=1,
                             n_threads=2, seed=1)
+        with WorkerPool(workers=2, mode="process") as control:
+            control.process(synthetic_trace(trace))
+            fault_free = control.process(synthetic_trace(trace))
         pool = WorkerPool(workers=2, mode="process")
+        try:
+            pool.process(synthetic_trace(trace))
+            pool._workers[0].process.kill()
+            pool._workers[0].process.join()
+            # The same trace again: the dead worker is detected, respawned,
+            # and its batches replayed — responses match the fault-free run.
+            report = pool.process(synthetic_trace(trace))
+            assert [payload(r) for r in report.responses] == \
+                [payload(r) for r in fault_free.responses]
+            assert report.worker_restarts == 1
+            assert report.replayed_batches >= 1
+            assert pool.worker_restarts == 1
+        finally:
+            pool.close()
+
+    def test_worker_loss_is_fatal_when_self_healing_is_disabled(self):
+        trace = TraceConfig(size=4, apps=["search"],
+                            backend_mix={"vrda": 1.0}, distinct_shapes=1,
+                            n_threads=2, seed=1)
+        pool = WorkerPool(workers=2, mode="process", max_worker_restarts=0)
         try:
             pool.process(synthetic_trace(trace))
             pool._workers[0].process.kill()

@@ -112,7 +112,9 @@ class TestProtocol:
         assert stats["served"] == 4
 
     def test_pool_failure_gets_error_envelope_and_stops_server(self):
-        pool = WorkerPool(workers=2, mode="process")
+        # max_worker_restarts=0 turns off self-healing, so one killed worker
+        # is an unrecoverable pool death — the shutdown path under test.
+        pool = WorkerPool(workers=2, mode="process", max_worker_restarts=0)
         with pool:
             instance = RuntimeServer(("127.0.0.1", 0), pool)
             thread = threading.Thread(target=instance.serve_forever, daemon=True)
