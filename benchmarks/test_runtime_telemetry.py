@@ -1,0 +1,124 @@
+"""E12 — telemetry overhead: the metrics plane must be near-free.
+
+The same warm 200-request trace is replayed through two identically
+configured inline pools behind a :class:`PoolService` front door — one
+with every registry disabled (``telemetry=False`` +
+``MetricsRegistry(enabled=False)``, the null-metric baseline) and one
+fully instrumented.  Responses are asserted byte-identical first
+(telemetry must never change what is served), then the instrumented run
+must sustain at least 95% of the baseline requests/sec.  CI runs this
+guard on every PR, so a future hot-path metric that regresses serving
+throughput fails loudly instead of rotting quietly.
+"""
+
+import gc
+import json
+import time
+
+from conftest import record_bench, run_once
+
+from repro.eval import format_rows
+from repro.runtime import MetricsRegistry, TraceConfig, WorkerPool, synthetic_trace
+from repro.runtime.gateway.admission import PoolService
+
+TRACE = TraceConfig(
+    size=200,
+    apps=["hash-table", "search"],
+    backend_mix={"vrda": 1.0},
+    distinct_shapes=2,
+    n_threads=2,
+    seed=23,
+)
+
+#: CI guard: instrumented warm throughput must stay within 5% of baseline.
+MIN_RATIO = 0.95
+
+
+def _replay(service, payloads):
+    """One warm replay through the front door; returns (elapsed_s, results)."""
+    started = time.perf_counter()
+    results = service.serve_payloads(payloads).results
+    elapsed = time.perf_counter() - started
+    assert len(results) == len(payloads)
+    assert all(r.get("ok") for r in results)
+    return elapsed, results
+
+
+def _measure(baseline, service, payloads, attempts=7):
+    """Interleaved min-of-``attempts`` timing for both configurations.
+
+    Alternating baseline/telemetry replays inside one GC-paused window
+    controls for machine drift, and min-time per arm filters scheduler
+    stalls — the two biggest noise sources on a shared CI runner.  Also
+    returns each arm's *first* replay results (request/batch ids are
+    monotonic per serve call, so only same-index replays from two pools
+    are comparable byte-for-byte).
+    """
+    _replay(baseline, payloads)  # fill program + result tiers
+    _replay(service, payloads)
+    baseline_times, telemetry_times = [], []
+    baseline_results = telemetry_results = None
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(attempts):
+            elapsed, results = _replay(baseline, payloads)
+            baseline_times.append(elapsed)
+            baseline_results = baseline_results or results
+            elapsed, results = _replay(service, payloads)
+            telemetry_times.append(elapsed)
+            telemetry_results = telemetry_results or results
+    finally:
+        gc.enable()
+    size = len(payloads)
+    return (
+        size / min(baseline_times),
+        size / min(telemetry_times),
+        baseline_results,
+        telemetry_results,
+    )
+
+
+def test_telemetry_overhead_warm_path(benchmark):
+    payloads = [request.to_dict() for request in synthetic_trace(TRACE)]
+
+    with WorkerPool(workers=2, mode="inline", telemetry=False) as pool_off:
+        baseline = PoolService(pool_off, metrics=MetricsRegistry(enabled=False))
+        with WorkerPool(workers=2, mode="inline") as pool_on:
+            service = PoolService(pool_on)
+            baseline_rps, telemetry_rps, baseline_results, telemetry_results = (
+                run_once(benchmark, _measure, baseline, service, payloads)
+            )
+            p95_s = service.metrics.histogram(
+                "frontdoor_request_seconds",
+                "Front-door serve-call wall clock, by endpoint.",
+                ("endpoint",),
+            ).quantile(0.95, endpoint="ndjson")
+            scrape = service.metrics_text()
+
+    # Byte-transparency first: a cheap metrics plane that changes the
+    # responses is not an observability layer, it is a bug.
+    assert json.dumps(telemetry_results, sort_keys=True) == json.dumps(
+        baseline_results, sort_keys=True
+    )
+    # The instrumented run really did measure itself.
+    assert "engine_requests_total" in scrape
+    assert p95_s > 0.0
+
+    ratio = telemetry_rps / baseline_rps
+    rows = [
+        {"config": "telemetry off", "requests_per_s": round(baseline_rps, 1)},
+        {"config": "telemetry on", "requests_per_s": round(telemetry_rps, 1)},
+        {"config": "ratio", "requests_per_s": f"{ratio:.3f}x"},
+    ]
+    print("\n" + format_rows(rows))
+    record_bench("telemetry", {
+        "trace_requests": TRACE.size,
+        "baseline_requests_per_s": round(baseline_rps, 1),
+        "telemetry_requests_per_s": round(telemetry_rps, 1),
+        "ratio": round(ratio, 4),
+        "frontdoor_p95_s": round(p95_s, 6),
+        "byte_identical": True,
+        "min_ratio": MIN_RATIO,
+    })
+    assert ratio >= MIN_RATIO

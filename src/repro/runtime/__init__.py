@@ -30,6 +30,12 @@ serving layer:
   beyond the measured token budget) and slow-reader/idle handling, shared
   with the NDJSON server through one :class:`PoolService`.
 * :mod:`repro.runtime.trace` — synthetic repeated-app request traces.
+* :mod:`repro.runtime.telemetry` / :mod:`repro.runtime.logs` — the
+  observability plane: a snapshot-mergeable metrics registry (counters,
+  gauges, log-bucketed latency histograms) rendered as Prometheus text on
+  ``GET /metrics`` and the NDJSON ``metrics`` op, opt-in request tracing
+  with a top-K slowest ring (``GET /v1/slow``), and structured (optionally
+  JSON) logging for restarts, breaker trips, and sheds.
 
 ``python -m repro.runtime`` replays a trace end to end and reports
 throughput, per-backend counts, cache hit rates, and worker shares;
@@ -60,7 +66,18 @@ from repro.runtime.pool import (
     WorkerPool,
     WorkerSnapshot,
 )
+from repro.runtime.logs import JsonFormatter, configure_logging
 from repro.runtime.scheduler import ScheduleReport, ShardScheduler, WorkerReport
+from repro.runtime.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SlowRing,
+    merge_snapshots,
+    new_trace_id,
+    render_prometheus,
+)
 from repro.runtime.trace import DEFAULT_TRACE_APPS, TraceConfig, synthetic_trace
 
 if TYPE_CHECKING:
@@ -104,6 +121,7 @@ __all__ = [
     "CacheStats",
     "ClientError",
     "ConnectionLostError",
+    "Counter",
     "DEFAULT_TRACE_APPS",
     "Engine",
     "EngineError",
@@ -112,8 +130,12 @@ __all__ = [
     "FaultPlan",
     "FunctionalVRDABackend",
     "GPUBaselineBackend",
+    "Gauge",
+    "Histogram",
     "HttpGateway",
+    "JsonFormatter",
     "LRUCache",
+    "MetricsRegistry",
     "OverloadedError",
     "PROTOCOL_VERSION",
     "PoolError",
@@ -126,13 +148,18 @@ __all__ = [
     "RuntimeServer",
     "ScheduleReport",
     "ShardScheduler",
+    "SlowRing",
     "TraceConfig",
     "WorkerConfig",
     "WorkerPool",
     "WorkerReport",
     "WorkerSnapshot",
+    "configure_logging",
     "load_fault_plan",
+    "merge_snapshots",
+    "new_trace_id",
     "program_key",
+    "render_prometheus",
     "spawn_server",
     "synthetic_trace",
 ]

@@ -27,6 +27,7 @@ from repro.eval.tables import format_rows
 from repro.runtime.cache import ProgramCache
 from repro.runtime.engine import Engine
 from repro.runtime.faults import load_fault_plan
+from repro.runtime.logs import configure_logging
 from repro.runtime.pool import POOL_MODES, WorkerPool
 from repro.runtime.scheduler import ShardScheduler
 from repro.runtime.trace import DEFAULT_TRACE_APPS, TraceConfig, synthetic_trace
@@ -92,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "'[{\"kind\": \"kill\", \"worker\": 0, "
                              "\"after_batches\": 1}]'; the pool must mask "
                              "them (pool mode only)")
+    parser.add_argument("--log-level", type=str, default="warning",
+                        choices=("debug", "info", "warning", "error"),
+                        help="structured-log threshold for repro.* loggers "
+                             "(default warning: restarts and breaker trips "
+                             "are visible, chatter is not)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit one JSON object per log line instead of "
+                             "human-readable text")
     return parser
 
 
@@ -156,6 +165,7 @@ def _run_pooled(args: argparse.Namespace, requests: List) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the trace-replay CLI; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_lines=args.log_json)
     apps = [name.strip() for name in args.apps.split(",") if name.strip()]
     rest = max(0.0, 1.0 - args.vrda_share) / 3.0
     config = TraceConfig(

@@ -14,7 +14,14 @@ response, and asserts the server shuts down cleanly (exit code 0) on the
 ``shutdown`` op.  ``--smoke-http`` does the same through the HTTP gateway:
 plain requests, a chunked ``/v1/stream`` (asserting the first response
 arrives before the last), and a deterministic 429 + ``Retry-After``
-exercise against the admission budget.
+exercise against the admission budget.  ``--smoke-metrics`` is the
+telemetry exercise: traced traffic over an injected worker fault, then a
+``GET /metrics`` scrape cross-checked against ``/v1/stats``.
+
+The client also keeps its own counters — round-trip latency quantiles,
+reconnects, 429 sheds, and backoff time — exposed without a server
+round-trip via :meth:`RuntimeClient.local_stats` (and folded into
+:meth:`RuntimeClient.stats` under the ``"client"`` key).
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
+from repro.runtime.telemetry import Histogram
 
 LISTENING_PREFIX = "runtime-server listening on "
 HTTP_LISTENING_PREFIX = "runtime-server http listening on "
@@ -96,7 +104,27 @@ class RuntimeClient:
         self._sleep = sleep
         self._connect_timeout = connect_timeout
         self._connect_retries = max(0, connect_retries)
+        # Client-side observability: load generators (and the future
+        # autoscaler) read these via local_stats()/stats() without any
+        # server round-trip of their own.
+        self._stats_lock = threading.Lock()
+        self._counters: Dict[str, float] = {
+            "roundtrips": 0,
+            "errors": 0,
+            "reconnects": 0,
+            "sheds_429": 0,
+            "backoff_sleeps": 0,
+            "backoff_s_total": 0.0,
+        }
+        self._latency = Histogram(
+            "client_roundtrip_seconds",
+            "Client-observed round-trip wall clock (successful replies).",
+        )
         self._connect()
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        with self._stats_lock:
+            self._counters[name] += amount
 
     def _connect(self) -> None:
         """(Re-)establish the connection with bounded, backed-off retries."""
@@ -137,6 +165,7 @@ class RuntimeClient:
 
     def roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Send one JSON line, block for one JSON line back."""
+        started = time.perf_counter()
         try:
             self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
             self._file.flush()
@@ -144,17 +173,24 @@ class RuntimeClient:
         except TimeoutError as error:
             # Timeouts are NOT connection loss: the request may still be
             # executing server-side, so no automatic retry.
+            self._count("errors")
             raise ClientError(
                 f"server round-trip failed after {self.timeout}s: {error}"
             )
         except OSError as error:
+            self._count("errors")
             raise ConnectionLostError(f"connection lost mid-round-trip: {error}")
         if not line:
+            self._count("errors")
             raise ConnectionLostError("server closed the connection")
         try:
-            return json.loads(line)
+            reply = json.loads(line)
         except json.JSONDecodeError as error:
+            self._count("errors")
             raise ClientError(f"unreadable server reply: {error}")
+        self._latency.observe(time.perf_counter() - started)
+        self._count("roundtrips")
+        return reply
 
     def _roundtrip_with_backoff(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Round-trip, retrying overload envelopes per the server's hint."""
@@ -163,6 +199,7 @@ class RuntimeClient:
         for _ in range(self.max_retries_429):
             if reply.get("code") != 429:
                 return reply
+            self._count("sheds_429")
             requested = reply.get("requested")
             limit = reply.get("limit")
             if requested is not None and limit is not None and requested > limit:
@@ -171,9 +208,14 @@ class RuntimeClient:
                 # caller must chunk it, so surface the envelope directly.
                 return reply
             hint = float(reply.get("retry_after_s") or 0.0)
-            self._sleep(min(max(hint, delay), self.max_backoff_s))
+            pause = min(max(hint, delay), self.max_backoff_s)
+            self._count("backoff_sleeps")
+            self._count("backoff_s_total", pause)
+            self._sleep(pause)
             delay = min(delay * 2, self.max_backoff_s)
             reply = self.roundtrip(payload)
+        if reply.get("code") == 429:
+            self._count("sheds_429")
         return reply
 
     # -- protocol ops -------------------------------------------------------
@@ -183,8 +225,43 @@ class RuntimeClient:
         return self.roundtrip({"op": "ping"})
 
     def stats(self) -> Dict[str, Any]:
-        """Fetch served/shed counters and per-worker cache stats."""
-        return self.roundtrip({"op": "stats"})
+        """Fetch served/shed counters and per-worker cache stats.
+
+        The server's envelope is augmented with a ``"client"`` section —
+        :meth:`local_stats` — so one call shows both sides of the wire.
+        """
+        reply = self.roundtrip({"op": "stats"})
+        if isinstance(reply, dict):
+            reply["client"] = self.local_stats()
+        return reply
+
+    def local_stats(self) -> Dict[str, Any]:
+        """This client's own counters; no server round-trip involved.
+
+        Round-trip latency quantiles come from the same log-spaced bucket
+        histogram the server uses, so client- and server-side latency are
+        directly comparable.
+        """
+        with self._stats_lock:
+            counters = dict(self._counters)
+        child = self._latency.snapshot_values().get((), None)
+        count = child["count"] if child else 0
+        mean = child["sum"] / count if count else 0.0
+        return {
+            "roundtrips": int(counters["roundtrips"]),
+            "errors": int(counters["errors"]),
+            "reconnects": int(counters["reconnects"]),
+            "sheds_429": int(counters["sheds_429"]),
+            "backoff_sleeps": int(counters["backoff_sleeps"]),
+            "backoff_s_total": round(counters["backoff_s_total"], 6),
+            "latency": {
+                "count": count,
+                "mean_s": round(mean, 6),
+                "p50_s": round(self._latency.quantile(0.5), 6),
+                "p95_s": round(self._latency.quantile(0.95), 6),
+                "p99_s": round(self._latency.quantile(0.99), 6),
+            },
+        }
 
     def request(self, **fields: Any) -> Dict[str, Any]:
         """Serve one request, e.g. ``client.request(app="strlen", seed=1)``.
@@ -207,6 +284,7 @@ class RuntimeClient:
                 self._sleep(delay)
                 delay = min(delay * 2, self.max_backoff_s)
                 self._connect()
+                self._count("reconnects")
         return self._roundtrip_with_backoff(payload)
 
     def batch(self, requests: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
@@ -448,6 +526,154 @@ def _smoke_http(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metric_value(text: str, name: str) -> float:
+    """Sum one family's sample values out of Prometheus text exposition."""
+    total = 0.0
+    found = False
+    for line in text.splitlines():
+        if not line.startswith(name):
+            continue
+        rest = line[len(name) :]
+        if rest[:1] not in (" ", "{"):
+            continue  # a longer family name sharing this prefix
+        found = True
+        total += float(line.rsplit(" ", 1)[1])
+    if not found:
+        raise AssertionError(f"metric family {name} missing from /metrics")
+    return total
+
+
+_REQUIRED_FAMILIES = (
+    "admission_admitted_total",
+    "admission_shed_total",
+    "engine_batches_total",
+    "engine_cache_lookups_total",
+    "engine_requests_total",
+    "frontdoor_queue_wait_seconds_count",
+    "frontdoor_request_seconds_count",
+    "frontdoor_requests_total",
+    "gateway_events_total",
+    "pool_flush_seconds_count",
+    "pool_flushes_total",
+    "pool_replayed_batches_total",
+    "pool_worker_restarts_total",
+)
+
+
+def _smoke_metrics(args: argparse.Namespace) -> int:
+    """Telemetry smoke: mixed + faulted traffic, then scrape and cross-check.
+
+    Spawns a gateway server with one injected worker kill, drives traced
+    and untraced traffic plus a deliberate shed, then asserts (a) every
+    required metric family is present on ``GET /metrics``, (b) counter
+    values are consistent with ``/v1/stats``, (c) the NDJSON ``metrics``
+    op renders the same families, and (d) ``/v1/slow`` retained spans.
+    """
+    import http.client
+
+    from repro.runtime.trace import TraceConfig, synthetic_trace
+
+    budget = 16
+    fault_plan = args.fault_plan or (
+        '[{"kind": "kill", "worker": 0, "after_batches": 1}]'
+    )
+    server_args = [
+        "--workers",
+        str(args.workers),
+        "--pool-mode",
+        args.pool_mode,
+        "--policy",
+        args.policy,
+        "--http-port",
+        "0",
+        "--max-inflight",
+        str(budget),
+        "--fault-plan",
+        fault_plan,
+    ]
+    trace = TraceConfig(
+        size=args.requests,
+        apps=[name.strip() for name in args.apps.split(",") if name.strip()],
+        backend_mix={"vrda": 1.0},
+        distinct_shapes=2,
+        n_threads=2,
+        seed=17,
+    )
+    payloads = [request.to_dict() for request in synthetic_trace(trace)]
+    process, host, port, http_host, http_port = spawn_server(
+        server_args, expect_http=True
+    )
+    try:
+        with RuntimeClient(host, port, connect_retries=3) as client:
+            # Mixed traffic: every odd request opts into tracing.  The
+            # injected kill fires mid-run and the pool must mask it.
+            chunk = min(args.chunk, budget)
+            served: List[Dict[str, Any]] = []
+            for start in range(0, len(payloads), chunk):
+                group = [
+                    dict(p, trace=True) if i % 2 else dict(p)
+                    for i, p in enumerate(payloads[start : start + chunk])
+                ]
+                served += client.batch(group)
+            bad = [r for r in served if not r.get("ok")]
+            assert not bad, f"faulted run served bad responses: {bad[:3]}"
+            traced = [r for r in served if "trace" in r]
+            untraced = [r for r in served if "trace" not in r]
+            assert traced and all(r["trace"]["trace_id"] for r in traced)
+            assert untraced, "untraced requests must not grow a trace field"
+            # A batch beyond the budget must shed, so shed counters move.
+            reply = client.roundtrip(
+                {"op": "batch", "requests": [payloads[0]] * (budget + 8)}
+            )
+            assert reply.get("code") == 429, f"expected a shed, got {reply}"
+            metrics_reply = client.roundtrip({"op": "metrics"})
+            assert metrics_reply["ok"], f"metrics op failed: {metrics_reply}"
+            ndjson_text = metrics_reply["text"]
+            slow_reply = client.roundtrip({"op": "slow"})
+            assert slow_reply["ok"] and slow_reply["recorded"] > 0
+            connection = http.client.HTTPConnection(http_host, http_port, timeout=60)
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            content_type = response.getheader("Content-Type", "")
+            text = response.read().decode("utf-8")
+            assert response.status == 200, f"/metrics status {response.status}"
+            assert content_type.startswith("text/plain; version=0.0.4")
+            for family in _REQUIRED_FAMILIES:
+                _metric_value(text, family)
+                _metric_value(ndjson_text, family)
+            status, _, stats = _http_json(connection, "GET", "/v1/stats")
+            assert status == 200 and stats["ok"]
+            restarts = _metric_value(text, "pool_worker_restarts_total")
+            assert restarts == stats["pool"]["faults"]["worker_restarts"] >= 1
+            assert _metric_value(text, "admission_shed_total") == (
+                stats["admission"]["rejected"]
+            )
+            assert _metric_value(text, "admission_admitted_total") == (
+                stats["admission"]["admitted"]
+            )
+            assert _metric_value(text, "frontdoor_requests_total") >= len(served)
+            connection.close()
+            local = client.local_stats()
+            assert local["roundtrips"] >= len(payloads) // chunk
+            assert local["latency"]["count"] == local["roundtrips"]
+            client.shutdown()
+        returncode = process.wait(timeout=60)
+    finally:
+        if process.poll() is None:
+            process.kill()
+    if returncode != 0:
+        print(f"metrics smoke FAILED: server exited {returncode}", file=sys.stderr)
+        return 1
+    print(
+        f"metrics smoke ok: {len(served)} requests ({len(traced)} traced) over "
+        f"{args.pool_mode} pool ({args.workers} workers), "
+        f"{int(restarts)} masked restart(s), "
+        f"{len(_REQUIRED_FAMILIES)} metric families scraped and consistent "
+        f"with /v1/stats, clean shutdown"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser for the client CLI."""
     parser = argparse.ArgumentParser(
@@ -466,6 +692,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="spawn a server with the HTTP gateway and run the mixed "
         "request/stream/429 self-test",
+    )
+    parser.add_argument(
+        "--smoke-metrics",
+        action="store_true",
+        help="spawn a gateway server with one injected worker fault, drive "
+        "traced traffic, scrape /metrics, and cross-check it against "
+        "/v1/stats",
     )
     parser.add_argument("--requests", type=int, default=50)
     parser.add_argument(
@@ -512,6 +745,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _smoke(args)
     if args.smoke_http:
         return _smoke_http(args)
+    if args.smoke_metrics:
+        return _smoke_metrics(args)
     if args.app is None:
         print(
             "nothing to do: pass --smoke, --smoke-http, or --port plus --app",

@@ -21,6 +21,7 @@ re-executing, which is what makes a warm serving tier fast.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
@@ -32,6 +33,7 @@ from repro.core.memory import MemorySystem
 from repro.errors import ReproError
 from repro.runtime.backends import BackendRegistry, BackendRequestContext
 from repro.runtime.cache import CacheStats, LRUCache, ProgramCache
+from repro.runtime.telemetry import MetricsRegistry
 from repro.sim.perf_model import ThroughputReport
 
 
@@ -59,6 +61,10 @@ class Request:
     seed: int = 0
     backend: str = "vrda"
     options: Optional[CompileOptions] = None
+    #: Opt into a span breakdown on the response (byte-transparent when off).
+    trace: bool = False
+    #: Propagated trace id; minted at the front door when tracing without one.
+    trace_id: Optional[str] = None
 
     def validate(self) -> None:
         """Check field consistency; raises :class:`EngineError` when invalid."""
@@ -85,7 +91,7 @@ class Request:
     #: Fields a JSON request payload may carry.  ``memory`` deliberately
     #: isn't one of them: staged memory images don't cross the wire.
     WIRE_FIELDS = ("app", "source", "function", "args", "n_threads", "seed",
-                   "backend", "options")
+                   "backend", "options", "trace", "trace_id")
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form; raises for requests with staged memory."""
@@ -97,6 +103,8 @@ class Request:
             value = getattr(self, name)
             if name == "options":
                 value = asdict(value) if value is not None else None
+            if name == "trace" and not value:
+                continue  # untraced requests keep the pre-telemetry wire form
             if value not in (None, {}, ()):
                 payload[name] = value
         return payload
@@ -141,15 +149,21 @@ class Response:
     program_cache_hit: Optional[bool] = None
     result_cache_hit: bool = False
     batch_id: int = -1
+    #: Span breakdown, present only when the request opted into tracing.
+    trace: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (the server's response line).
 
         The full :class:`~repro.sim.perf_model.ThroughputReport` collapses
         to its rounded ``as_row`` dict so every field stays a JSON scalar.
+        The ``trace`` key appears only for traced requests, keeping untraced
+        responses byte-identical to a stack without telemetry.
         """
         payload = asdict(self)
         payload["report"] = self.report.as_row() if self.report else None
+        if self.trace is None:
+            del payload["trace"]
         return payload
 
 
@@ -176,7 +190,8 @@ class Engine:
                  result_cache_capacity: int = 512,
                  init_latency_s: float = 1e-4,
                  intra_batch_workers: int = 1,
-                 executor: Optional[str] = None):
+                 executor: Optional[str] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         """Build a serving engine.
 
         Args:
@@ -198,6 +213,10 @@ class Engine:
                 (columnar when numpy is available).  Raises ``ValueError``
                 for unknown names and ``RuntimeError`` for ``"columnar"``
                 without numpy.
+            metrics: telemetry registry to instrument into; defaults to a
+                private per-engine registry (each pool worker child ships
+                its own back with every flush reply).  Pass
+                ``MetricsRegistry(enabled=False)`` to null out telemetry.
 
         Thread-safety: one engine may be driven from one thread;
         ``intra_batch_workers`` only parallelizes internally.
@@ -218,6 +237,17 @@ class Engine:
         self._next_request_id = 0
         self._next_batch_id = 0
         self.backend_counts: Dict[str, int] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Hot-path cost discipline: the engine only *times at batch level*
+        # (two perf_counter calls per batch); every per-request counter is
+        # derived at snapshot time from counters the engine already keeps.
+        self._m_batches = self.metrics.counter(
+            "engine_batches_total", "Coalesced batches executed.")
+        self._m_compile_s = self.metrics.histogram(
+            "engine_compile_seconds", "Per-batch program compile time.")
+        self._m_batch_s = self.metrics.histogram(
+            "engine_batch_execute_seconds", "Per-batch execute wall clock.")
+        self.metrics.add_collector(self._collect_metrics)
 
     # -- submission ---------------------------------------------------------
 
@@ -315,20 +345,26 @@ class Engine:
         3. an *accounting scan* in entry order does every cache write and
            counter update, and replays the deferred duplicates.
         """
+        batch_started = time.perf_counter()
         backend = self.backends.get(batch.backend)
         program = None
         program_hit: Optional[bool] = None
+        compile_s = 0.0
         if backend.needs_program and batch.entries:
             _, first = batch.entries[0]
             _, source = first.resolve()
             try:
+                compile_started = time.perf_counter()
                 program, program_hit = self.program_cache.get_or_compile(
                     source, first.function, first.options)
+                compile_s = time.perf_counter() - compile_started
                 self.program_cache.record_amortized_hits(len(batch.entries) - 1)
             except ReproError as error:
                 return [self._error_response(request_id, request, batch,
                                              f"compile failed: {error}")
                         for request_id, request in batch.entries]
+            if program_hit is False:
+                self._m_compile_s.observe(compile_s)
         entries = batch.entries
         # Phase 1: admission scan (sequential, entry order).
         plans: List[Tuple[str, Any]] = []
@@ -343,7 +379,8 @@ class Engine:
                 cached = self.result_cache.get(fingerprint)
                 if cached is not None:
                     plans.append(("replay", self._replay(
-                        cached, request_id, request, batch, program_hit)))
+                        cached, request_id, request, batch, program_hit,
+                        compile_s)))
                     continue
                 pending.add(fingerprint)
             plans.append(("run", fingerprint))
@@ -361,7 +398,8 @@ class Engine:
                 futures = {
                     position: pool.submit(
                         self._execute_request, entries[position][0],
-                        entries[position][1], batch, program, program_hit)
+                        entries[position][1], batch, program, program_hit,
+                        compile_s)
                     for position in fanned
                 }
                 for position, future in futures.items():
@@ -371,7 +409,7 @@ class Engine:
         for position in serial:
             request_id, request = entries[position]
             executed[position] = self._execute_request(
-                request_id, request, batch, program, program_hit)
+                request_id, request, batch, program, program_hit, compile_s)
         # Phase 3: accounting scan (sequential, entry order).
         responses: List[Response] = []
         for position, (kind, fingerprint) in enumerate(plans):
@@ -383,42 +421,72 @@ class Engine:
                 cached = self.result_cache.get(fingerprint)
                 if cached is not None:
                     responses.append(self._replay(
-                        cached, request_id, request, batch, program_hit))
+                        cached, request_id, request, batch, program_hit,
+                        compile_s))
                     continue
                 # The first occurrence failed and cached nothing; serve this
                 # duplicate for real (what sequential execution would do).
                 executed[position] = self._execute_request(
-                    request_id, request, batch, program, program_hit)
+                    request_id, request, batch, program, program_hit,
+                    compile_s)
             response = executed[position]
             if response.error is None:
                 self.backend_counts[request.backend] = (
                     self.backend_counts.get(request.backend, 0) + 1)
                 if fingerprint is not None:
+                    # Cached entries never retain a trace: a later untraced
+                    # request replaying this fingerprint must get a response
+                    # byte-identical to an uncached untraced serve.
                     self.result_cache.put(fingerprint, replace(
                         response,
+                        trace=None,
                         outputs=(list(response.outputs)
                                  if response.outputs is not None else None),
                         report=(replace(response.report)
                                 if response.report is not None else None)))
             responses.append(response)
+        self._m_batches.inc()
+        self._m_batch_s.observe(time.perf_counter() - batch_started)
         return responses
 
     def _replay(self, cached: Response, request_id: int, request: Request,
-                batch: Batch, program_hit: Optional[bool]) -> Response:
-        """A result-cache hit as a fresh Response (no shared mutable state)."""
+                batch: Batch, program_hit: Optional[bool],
+                compile_s: float = 0.0) -> Response:
+        """A result-cache hit as a fresh Response (no shared mutable state).
+
+        The trace is rebuilt from the *current* request (cached entries
+        store ``trace=None``), so cache sharing between traced and untraced
+        requests never leaks span data across them.
+        """
         self.backend_counts[request.backend] = (
             self.backend_counts.get(request.backend, 0) + 1)
         return replace(cached, request_id=request_id,
                        batch_id=batch.batch_id, result_cache_hit=True,
                        program_cache_hit=program_hit,
+                       trace=self._trace_span(request, compile_s, 0.0, True),
                        outputs=(list(cached.outputs)
                                 if cached.outputs is not None else None),
                        report=(replace(cached.report)
                                if cached.report is not None else None))
 
+    @staticmethod
+    def _trace_span(request: Request, compile_s: float, execute_s: float,
+                    replayed: bool) -> Optional[Dict[str, Any]]:
+        """Engine-side spans for a traced request; None when not tracing."""
+        if not request.trace:
+            return None
+        return {
+            "trace_id": request.trace_id,
+            "compile_s": round(compile_s, 6),
+            "execute_s": round(execute_s, 6),
+            "result_cache_hit": replayed,
+        }
+
     def _execute_request(self, request_id: int, request: Request, batch: Batch,
-                         program, program_hit: Optional[bool]) -> Response:
+                         program, program_hit: Optional[bool],
+                         compile_s: float = 0.0) -> Response:
         """Run one request on its backend; thread-safe (no engine state)."""
+        started = time.perf_counter() if request.trace else 0.0
         try:
             spec, _ = request.resolve()
             instance = self._instance_for(request, spec)
@@ -433,6 +501,7 @@ class Engine:
             result = self.backends.get(request.backend).execute(ctx)
         except ReproError as error:
             return self._error_response(request_id, request, batch, str(error))
+        execute_s = time.perf_counter() - started if request.trace else 0.0
         return Response(
             request_id=request_id,
             app=request.app,
@@ -446,6 +515,7 @@ class Engine:
             program_cache_hit=program_hit,
             result_cache_hit=False,
             batch_id=batch.batch_id,
+            trace=self._trace_span(request, compile_s, execute_s, False),
         )
 
     def _instance_for(self, request: Request,
@@ -477,7 +547,8 @@ class Engine:
                         message: str) -> Response:
         return Response(request_id=request_id, app=request.app,
                         backend=request.backend, ok=False, error=message,
-                        batch_id=batch.batch_id)
+                        batch_id=batch.batch_id,
+                        trace=self._trace_span(request, 0.0, 0.0, False))
 
     # -- stats --------------------------------------------------------------
 
@@ -513,3 +584,39 @@ class Engine:
             "intra_batch_workers": self.intra_batch_workers,
             "executor": self.executor,
         }
+
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Fold existing engine counters into metric families (at snapshot).
+
+        Runs only when the registry is scraped or snapshotted, so the warm
+        serve path (tens of microseconds per request) pays nothing for the
+        per-request counters below.
+        """
+        requests = registry.counter(
+            "engine_requests_total", "Requests served, by backend.",
+            ("backend",))
+        for backend, count in self.backend_counts.items():
+            requests.set_total(count, backend=backend)
+        executors = registry.counter(
+            "engine_executor_requests_total",
+            "Functional-backend requests, by resolved executor.",
+            ("executor",))
+        executors.set_total(self.backend_counts.get("vrda", 0),
+                            executor=self.executor)
+        lookups = registry.counter(
+            "engine_cache_lookups_total",
+            "Cache-tier lookups, by tier and outcome.", ("tier", "outcome"))
+        evictions = registry.counter(
+            "engine_cache_evictions_total", "Cache-tier evictions.", ("tier",))
+        for tier, stats in (("program", self.program_cache_stats),
+                            ("result", self.result_cache_stats)):
+            lookups.set_total(stats.hits, tier=tier, outcome="hit")
+            lookups.set_total(stats.misses, tier=tier, outcome="miss")
+            if stats.disk_hits:
+                lookups.set_total(stats.disk_hits, tier=tier,
+                                  outcome="disk_hit")
+            evictions.set_total(stats.evictions, tier=tier)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """This engine's registry snapshot (mergeable across workers)."""
+        return self.metrics.snapshot()

@@ -21,6 +21,7 @@ wire is a 429 status on the other, backed by the same token bucket.
 
 from __future__ import annotations
 
+import logging
 import math
 import threading
 import time
@@ -30,8 +31,17 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.runtime.engine import Request
+from repro.runtime.logs import event, get_logger
 from repro.runtime.pool import PoolError, WorkerPool
+from repro.runtime.telemetry import (
+    MetricsRegistry,
+    SlowRing,
+    new_trace_id,
+    render_prometheus,
+)
 from repro.sim.policies import ServiceRateEstimator, pool_drain_rps
+
+_LOG = get_logger(__name__)
 
 
 @dataclass
@@ -243,6 +253,8 @@ class PoolService:
         pool: WorkerPool,
         admission: Optional[AdmissionController] = None,
         wait_samples: int = 4096,
+        metrics: Optional[MetricsRegistry] = None,
+        slow_ring_size: int = 32,
     ):
         self.pool = pool
         self.admission = admission
@@ -253,6 +265,25 @@ class PoolService:
         self._waits: deque = deque(maxlen=max(1, wait_samples))
         self._counter_lock = threading.Lock()
         self._failure_callbacks: List[Callable[[], None]] = []
+        #: The front-door metric families; worker/pool families merge in at
+        #: render time (see :meth:`metrics_text`).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.slow_ring = SlowRing(capacity=slow_ring_size)
+        self._m_requests = self.metrics.counter(
+            "frontdoor_requests_total",
+            "Requests through the shared front door, by endpoint and status.",
+            ("endpoint", "status"),
+        )
+        self._m_latency = self.metrics.histogram(
+            "frontdoor_request_seconds",
+            "Front-door serve-call wall clock, by endpoint.",
+            ("endpoint",),
+        )
+        self._m_queue_wait = self.metrics.histogram(
+            "frontdoor_queue_wait_seconds",
+            "Seconds an admitted serve call waited for the pool lock.",
+        )
+        self.metrics.add_collector(self._collect_metrics)
 
     def on_failure(self, callback: Callable[[], None]) -> None:
         """Register a callback for a fatal pool failure (server shutdown)."""
@@ -260,7 +291,9 @@ class PoolService:
 
     # -- serving ------------------------------------------------------------
 
-    def serve_payloads(self, payloads: Sequence[Any]) -> ServeResult:
+    def serve_payloads(
+        self, payloads: Sequence[Any], endpoint: str = "ndjson"
+    ) -> ServeResult:
         """Serve one batch of JSON request payloads, order-preserving.
 
         Admission is all-or-nothing per call: either every payload gets a
@@ -269,27 +302,44 @@ class PoolService:
         are held from admission until the flush completes, so work waiting
         on the pool lock counts against the in-flight budget — that is the
         wire-level backpressure.
+
+        ``endpoint`` labels this call's metrics (and trace spans) with the
+        front door it came through — the NDJSON op or the HTTP route.
         """
         n = len(payloads)
         if n == 0:
             return ServeResult(results=[])
+        started = time.perf_counter()
         if self.admission is not None:
             decision = self.admission.try_acquire(n)
             if not decision.admitted:
                 with self._counter_lock:
                     self.shed += n
+                self._m_requests.inc(n, endpoint=endpoint, status="shed")
+                event(
+                    _LOG,
+                    logging.WARNING,
+                    "admission shed",
+                    endpoint=endpoint,
+                    requested=n,
+                    inflight=decision.inflight,
+                    limit=decision.limit,
+                    retry_after_s=round(decision.retry_after_s, 3),
+                )
                 return ServeResult(
                     results=[overload_envelope(decision) for _ in payloads],
                     shed=True,
                     retry_after_s=decision.retry_after_s,
                 )
         try:
-            return self._serve_admitted(payloads)
+            return self._serve_admitted(payloads, endpoint, started)
         finally:
             if self.admission is not None:
                 self.admission.release(n)
 
-    def _serve_admitted(self, payloads: Sequence[Any]) -> ServeResult:
+    def _serve_admitted(
+        self, payloads: Sequence[Any], endpoint: str, started: float
+    ) -> ServeResult:
         n = len(payloads)
         slots: List[tuple] = []
         queued_at = time.perf_counter()
@@ -298,6 +348,15 @@ class PoolService:
                 wait = time.perf_counter() - queued_at
                 for payload in payloads:
                     try:
+                        if (
+                            isinstance(payload, dict)
+                            and payload.get("trace")
+                            and not payload.get("trace_id")
+                        ):
+                            # Front-door minting: a traced request without a
+                            # client-supplied id gets one here, so its spans
+                            # are correlatable across layers.
+                            payload = dict(payload, trace_id=new_trace_id())
                         slots.append(
                             ("id", self.pool.submit(Request.from_dict(payload)))
                         )
@@ -325,6 +384,7 @@ class PoolService:
             # envelope per request.
             for callback in self._failure_callbacks:
                 callback()
+            self._m_requests.inc(n, endpoint=endpoint, status="error")
             message = f"worker pool failed: {error}; server shutting down"
             return ServeResult(
                 results=[{"ok": False, "error": message} for _ in payloads]
@@ -339,7 +399,55 @@ class PoolService:
                 results.append(responses[value].to_dict())
             else:
                 results.append({"ok": False, "error": value})
+        total_s = time.perf_counter() - started
+        self._finish_telemetry(results, endpoint, wait, flush_elapsed, total_s)
         return ServeResult(results=results, queue_wait_s=wait)
+
+    def _finish_telemetry(
+        self,
+        results: List[Dict[str, Any]],
+        endpoint: str,
+        wait: float,
+        flush_s: float,
+        total_s: float,
+    ) -> None:
+        """Per-call accounting: counters, latency, span enrichment, ring.
+
+        Runs after the pool lock is released.  Traced results gain the
+        front-door spans (queue-wait, flush, total) next to the engine's
+        compile/execute spans; untraced results are untouched, preserving
+        byte transparency.
+        """
+        errors = 0
+        trace_id: Optional[str] = None
+        for result in results:
+            if not result.get("ok", False):
+                errors += 1
+            trace = result.get("trace")
+            if trace is not None:
+                trace["endpoint"] = endpoint
+                trace["queue_wait_s"] = round(wait, 6)
+                trace["flush_s"] = round(flush_s, 6)
+                trace["total_s"] = round(total_s, 6)
+                if trace_id is None:
+                    trace_id = trace.get("trace_id")
+        if errors < len(results):
+            self._m_requests.inc(len(results) - errors, endpoint=endpoint, status="ok")
+        if errors:
+            self._m_requests.inc(errors, endpoint=endpoint, status="error")
+        self._m_latency.observe(total_s, endpoint=endpoint)
+        self._m_queue_wait.observe(wait)
+        self.slow_ring.record(
+            total_s,
+            {
+                "endpoint": endpoint,
+                "requests": len(results),
+                "errors": errors,
+                "queue_wait_s": round(wait, 6),
+                "flush_s": round(flush_s, 6),
+                "trace_id": trace_id,
+            },
+        )
 
     # -- stats --------------------------------------------------------------
 
@@ -390,3 +498,44 @@ class PoolService:
         if self.admission is not None:
             payload["admission"] = self.admission.snapshot().to_dict()
         return payload
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Fold admission counters into metric families (at snapshot)."""
+        if self.admission is None:
+            return
+        snap = self.admission.snapshot()
+        registry.counter(
+            "admission_admitted_total", "Requests granted an in-flight token."
+        ).set_total(snap.admitted)
+        registry.counter(
+            "admission_shed_total", "Requests shed with a retry hint."
+        ).set_total(snap.rejected)
+        registry.gauge(
+            "admission_inflight", "Requests currently holding tokens."
+        ).set(snap.inflight)
+        registry.gauge(
+            "admission_limit", "Current in-flight token budget."
+        ).set(snap.limit)
+        registry.gauge(
+            "admission_drain_rps", "Estimated pool drain rate, requests/s."
+        ).set(snap.drain_rps)
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition across every layer of the stack.
+
+        The single renderer both front doors share: merges this front
+        door's registry with the pool's own and the latest per-worker
+        engine snapshots, so one scrape covers admission, engine cache
+        tiers, pool flush/restart, and per-endpoint latency.
+        """
+        snapshots = [self.metrics.snapshot()]
+        pool_snapshots = getattr(self.pool, "metrics_snapshots", None)
+        if pool_snapshots is not None:
+            snapshots.extend(pool_snapshots())
+        return render_prometheus(snapshots)
+
+    def slow_payload(self) -> Dict[str, Any]:
+        """The ``slow`` wire envelope: the top-K slowest front-door calls."""
+        return self.slow_ring.payload()

@@ -8,6 +8,11 @@ and keep-alive connections.  Endpoints:
   from lock-free pool counters — never waits on the pool lock.
 * ``GET /v1/stats`` — served/shed counters, queue-wait percentiles, the
   admission snapshot, and the pool's per-worker cache stats.
+* ``GET /metrics`` — Prometheus text exposition across the whole stack
+  (front door, admission, pool, per-worker engines), rendered by the same
+  :meth:`PoolService.metrics_text` the NDJSON ``metrics`` op uses.
+* ``GET /v1/slow`` — the top-K slowest front-door calls with their span
+  breakdowns (the server-side trace retention ring).
 * ``POST /v1/request`` — one JSON request object, one JSON response.
 * ``POST /v1/batch`` — ``{"requests": [...]}`` (or a bare list) through
   one pool flush; order-preserving, malformed entries become per-request
@@ -32,11 +37,13 @@ from __future__ import annotations
 
 import asyncio
 import json
-import sys
+import logging
 import threading
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.runtime.gateway.admission import PoolService
+from repro.runtime.logs import event, get_logger
+from repro.runtime.telemetry import MetricsRegistry
 from repro.runtime.gateway.streaming import (
     ChunkedWriter,
     SlowReaderError,
@@ -63,10 +70,14 @@ _REASONS = {
 _ROUTES = {
     "/healthz": ("GET",),
     "/v1/stats": ("GET",),
+    "/v1/slow": ("GET",),
+    "/metrics": ("GET",),
     "/v1/request": ("POST",),
     "/v1/batch": ("POST",),
     "/v1/stream": ("POST",),
 }
+
+_LOG = get_logger(__name__)
 
 
 class HttpError(Exception):
@@ -124,6 +135,18 @@ def _response_bytes(
     ]
     for name, value in (extra_headers or {}).items():
         lines.append(f"{name}: {value}")
+    return "\r\n".join(lines).encode("ascii") + b"\r\n\r\n" + body
+
+
+def _text_response_bytes(status: int, text: str, keep_alive: bool) -> bytes:
+    """A plain-text response (the Prometheus exposition content type)."""
+    body = text.encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
     return "\r\n".join(lines).encode("ascii") + b"\r\n\r\n" + body
 
 
@@ -186,6 +209,19 @@ class HttpGateway:
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
         self._startup_error: Optional[BaseException] = None
+        # Gateway counters surface in /metrics via the shared service
+        # registry; folded in at scrape time, never on the request path.
+        self.service.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Fold the gateway's connection counters into ``gateway_*``."""
+        events = registry.counter(
+            "gateway_events_total",
+            "HTTP gateway connection/request events, by kind.",
+            ("kind",),
+        )
+        for kind, count in self.counters.items():
+            events.set_total(count, kind=kind)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -237,10 +273,12 @@ class HttpGateway:
                 # Past startup, nothing reads _startup_error: a dying loop
                 # would silently take the HTTP endpoint dark while the rest
                 # of the process looks healthy.  Say so.
-                print(
-                    f"http-gateway event loop died: {error!r}",
-                    file=sys.stderr,
-                    flush=True,
+                event(
+                    _LOG,
+                    logging.ERROR,
+                    "http-gateway event loop died",
+                    error=repr(error),
+                    endpoint=self.endpoint,
                 )
             self._startup_error = error
         finally:
@@ -435,6 +473,21 @@ class HttpGateway:
                 writer, _response_bytes(200, stats, request.keep_alive)
             )
             return request.keep_alive
+        if request.path == "/metrics":
+            # One renderer for both front doors: the NDJSON 'metrics' op
+            # wraps the identical text in a JSON envelope.
+            text = await self._in_executor(self.service.metrics_text)
+            await self._write(
+                writer, _text_response_bytes(200, text, request.keep_alive)
+            )
+            return request.keep_alive
+        if request.path == "/v1/slow":
+            payload = self.service.slow_payload()
+            payload["version"] = GATEWAY_VERSION
+            await self._write(
+                writer, _response_bytes(200, payload, request.keep_alive)
+            )
+            return request.keep_alive
         if request.path == "/v1/request":
             return await self._serve_single(request, writer)
         if request.path == "/v1/batch":
@@ -484,7 +537,9 @@ class HttpGateway:
         payload = request.json_body()
         if not isinstance(payload, dict):
             raise HttpError(400, "body must be one JSON request object")
-        result = await self._in_executor(self.service.serve_payloads, [payload])
+        result = await self._in_executor(
+            self.service.serve_payloads, [payload], "/v1/request"
+        )
         if result.shed:
             await self._write(
                 writer, self._overload_response(result, request.keep_alive)
@@ -500,7 +555,9 @@ class HttpGateway:
         self, request: ParsedRequest, writer: asyncio.StreamWriter
     ) -> bool:
         requests, _ = self._request_list(request.json_body())
-        result = await self._in_executor(self.service.serve_payloads, requests)
+        result = await self._in_executor(
+            self.service.serve_payloads, requests, "/v1/batch"
+        )
         if result.shed:
             await self._write(
                 writer,
@@ -534,7 +591,9 @@ class HttpGateway:
         # partially-overloaded stream still delivers what was admitted.
         try:
             for sub in iter_subbatches(requests, chunk):
-                result = await self._in_executor(self.service.serve_payloads, sub)
+                result = await self._in_executor(
+                    self.service.serve_payloads, sub, "/v1/stream"
+                )
                 if result.shed:
                     self.counters["shed"] += len(result.results)
                 for line in result.results:

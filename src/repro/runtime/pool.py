@@ -44,6 +44,7 @@ into a clean shutdown.  :class:`~repro.runtime.faults.FaultPlan` injection
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import time
 from dataclasses import dataclass, field, replace
@@ -55,7 +56,9 @@ from repro.errors import ReproError
 from repro.runtime.cache import CacheStats, ProgramCache
 from repro.runtime.engine import Batch, Engine, Request, Response
 from repro.runtime.faults import FaultInjector, FaultPlan, InjectedFault
+from repro.runtime.logs import event, get_logger
 from repro.runtime.scheduler import ScheduleReport, ShardScheduler
+from repro.runtime.telemetry import MetricsRegistry
 from repro.sim.policies import (
     AdmissionPolicy,
     CacheAffinityPolicy,
@@ -66,13 +69,24 @@ from repro.sim.policies import (
 
 POOL_MODES = ("inline", "process")
 
+_LOG = get_logger(__name__)
+
 
 class PoolError(ReproError):
     """The pool was misconfigured or died unrecoverably (breaker open)."""
 
 
 class _WorkerFailure(Exception):
-    """One worker was lost (died, hung, or pipe broke); the pool recovers."""
+    """One worker was lost (died, hung, or pipe broke); the pool recovers.
+
+    ``cause`` classifies the loss for the structured restart log: ``eof``
+    (the child died), ``hang`` (no reply inside the deadline), ``pipe``
+    (the parent-side pipe broke), or ``injected`` (inline fault plan).
+    """
+
+    def __init__(self, message: str, cause: str = "unknown"):
+        super().__init__(message)
+        self.cause = cause
 
 
 @dataclass
@@ -99,6 +113,9 @@ class WorkerConfig:
     #: like every other field, so process workers arm their share after the
     #: spawn.  ``None`` (production) injects nothing.
     fault_plan: Optional[FaultPlan] = None
+    #: ``False`` nulls out the worker engine's metrics registry entirely —
+    #: the telemetry-off baseline of the overhead benchmark.
+    telemetry: bool = True
 
     def build_engine(self, index: int = 0) -> Engine:
         """Construct this worker's private engine (one per worker index)."""
@@ -111,6 +128,7 @@ class WorkerConfig:
             init_latency_s=self.init_latency_s,
             intra_batch_workers=self.intra_batch_workers,
             executor=self.executor,
+            metrics=MetricsRegistry(enabled=self.telemetry),
         )
 
     def disk_dir(self, index: int) -> Optional[Path]:
@@ -153,6 +171,10 @@ class WorkerSnapshot:
     busy_s: float = 0.0
     #: EWMA of measured requests/second across flushes (0.0 = unmeasured).
     service_rate_rps: float = 0.0
+    #: The worker engine's metrics-registry snapshot (merged pool-side into
+    #: `/metrics`; counters restart from zero when the worker respawns).
+    #: Excluded from :meth:`to_dict` — label keys are tuples, not JSON.
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (stats endpoints and the CLI report)."""
@@ -178,6 +200,7 @@ def _crash_responses(batch: Batch, error: Exception) -> List[Response]:
             ok=False,
             error=f"worker failure: {error}",
             batch_id=batch.batch_id,
+            trace={"trace_id": request.trace_id} if request.trace else None,
         )
         for request_id, request in batch.entries
     ]
@@ -235,6 +258,7 @@ def _snapshot(
         resident_keys=engine.program_cache.resident_keys(),
         busy_s=busy_s,
         service_rate_rps=service_rate_rps,
+        metrics=engine.metrics_snapshot(),
     )
 
 
@@ -299,7 +323,7 @@ class _InlineWorker:
                 self._injector.before_reply()
         except InjectedFault as fault:
             self._pending = None
-            raise _WorkerFailure(str(fault)) from fault
+            raise _WorkerFailure(str(fault), cause="injected") from fault
         self._batches += len(batches)
         self._requests += served
         self._busy_s += elapsed
@@ -364,7 +388,7 @@ class _ProcessWorker:
         try:
             self.connection.send(("run", batches))
         except (BrokenPipeError, OSError) as error:
-            raise _WorkerFailure(f"worker {self.index} is gone: {error}")
+            raise _WorkerFailure(f"worker {self.index} is gone: {error}", cause="pipe")
 
     def collect(
         self, deadline_s: Optional[float] = None
@@ -380,13 +404,18 @@ class _ProcessWorker:
             if deadline_s is not None and not self.connection.poll(deadline_s):
                 raise _WorkerFailure(
                     f"worker {self.index} hung: no flush reply within "
-                    f"{deadline_s:.1f}s"
+                    f"{deadline_s:.1f}s",
+                    cause="hang",
                 )
             return self.connection.recv()
         except EOFError as error:
-            raise _WorkerFailure(f"worker {self.index} died mid-batch") from error
+            raise _WorkerFailure(
+                f"worker {self.index} died mid-batch", cause="eof"
+            ) from error
         except OSError as error:
-            raise _WorkerFailure(f"worker {self.index} pipe failed: {error}")
+            raise _WorkerFailure(
+                f"worker {self.index} pipe failed: {error}", cause="pipe"
+            )
 
     def respawn(self) -> None:
         """Replace the child with a fresh one on a fresh pipe, in place.
@@ -528,6 +557,7 @@ class WorkerPool:
         hang_deadline_factor: float = 8.0,
         hang_deadline_min_s: float = 30.0,
         hang_cold_deadline_s: Optional[float] = 120.0,
+        telemetry: bool = True,
     ):
         if workers <= 0:
             raise PoolError("need at least one pool worker")
@@ -563,6 +593,20 @@ class WorkerPool:
         self.worker_restarts = 0
         self.replayed_batches = 0
         self._restart_times: List[float] = []
+        #: Pool-level metric families (worker engines keep their own
+        #: registries and ship snapshots back with every flush reply).
+        self.metrics = MetricsRegistry(enabled=telemetry)
+        self._m_flushes = self.metrics.counter(
+            "pool_flushes_total", "Pool flush rounds completed."
+        )
+        self._m_flush_s = self.metrics.histogram(
+            "pool_flush_seconds", "Per-flush wall clock (dispatch to gather)."
+        )
+        self._m_imbalance = self.metrics.gauge(
+            "pool_dispatch_imbalance",
+            "Last flush's max/mean worker-load ratio (1.0 = even).",
+        )
+        self.metrics.add_collector(self._collect_metrics)
         self.config = WorkerConfig(
             cache_capacity=cache_capacity,
             result_cache_capacity=result_cache_capacity,
@@ -572,6 +616,7 @@ class WorkerPool:
             disk_cache_dir=disk_cache_dir,
             executor=executor,
             fault_plan=fault_plan,
+            telemetry=telemetry,
         )
         if service_delays is None:
             self._worker_configs = [self.config] * workers
@@ -663,6 +708,7 @@ class WorkerPool:
         """
         if self._closed:
             raise PoolError("pool is closed")
+        flush_started = time.perf_counter()
         batches = self._front.coalesce()
         failed = self._front.drain_failed()
         if isinstance(self._policy, CacheAffinityPolicy) and self._residency:
@@ -688,13 +734,13 @@ class WorkerPool:
         restarted: Set[int] = set()
         while pending:
             submitted: Dict[int, List[Batch]] = {}
-            lost: List[Tuple[int, List[Batch], str]] = []
+            lost: List[Tuple[int, List[Batch], _WorkerFailure]] = []
             for index in sorted(pending):
                 try:
                     self._workers[index].submit(pending[index])
                     submitted[index] = pending[index]
                 except _WorkerFailure as failure:
-                    lost.append((index, pending[index], str(failure)))
+                    lost.append((index, pending[index], failure))
             for index, assigned in submitted.items():
                 deadline = self._collect_deadline_s(
                     index, assigned, cold=index in restarted
@@ -703,16 +749,20 @@ class WorkerPool:
                     worker_responses, snapshot = self._workers[index].collect(
                         deadline
                     )
+                    for response in worker_responses:
+                        if response.trace is not None:
+                            response.trace["worker"] = index
                     responses.extend(worker_responses)
                     snapshots[index] = snapshot
                 except _WorkerFailure as failure:
-                    lost.append((index, assigned, str(failure)))
+                    lost.append((index, assigned, failure))
             pending = {}
             if not lost:
                 break
             retry: List[Batch] = []
-            for index, assigned, reason in lost:
-                self._recover_worker(index, reason)
+            for index, assigned, failure in lost:
+                reason = str(failure)
+                self._recover_worker(index, reason, failure.cause)
                 flush_restarts += 1
                 restarted.add(index)
                 for batch in assigned:
@@ -722,6 +772,15 @@ class WorkerPool:
                         # A poison batch: it has now taken down a worker on
                         # every replay.  Answer it with error responses so
                         # the rest of the flush can complete.
+                        event(
+                            _LOG,
+                            logging.ERROR,
+                            "poison batch abandoned",
+                            batch=batch.batch_id,
+                            replays=self.max_batch_replays,
+                            worker=index,
+                            cause=failure.cause,
+                        )
                         responses.extend(
                             _crash_responses(
                                 batch,
@@ -752,6 +811,10 @@ class WorkerPool:
         self._residency = [list(s.resident_keys) for s in snapshots]
         self.last_snapshots = snapshots
         self.replayed_batches += flush_replays
+        self._m_flushes.inc()
+        self._m_flush_s.observe(time.perf_counter() - flush_started)
+        if batches:
+            self._m_imbalance.set(schedule.imbalance())
         return PoolReport(
             mode=self.mode,
             responses=responses,
@@ -786,7 +849,7 @@ class WorkerPool:
             self.hang_deadline_factor * requests / rate,
         )
 
-    def _recover_worker(self, index: int, reason: str) -> None:
+    def _recover_worker(self, index: int, reason: str, cause: str) -> None:
         """Respawn one lost worker, or trip the breaker and close the pool.
 
         The breaker opens when this loss would exceed
@@ -794,13 +857,25 @@ class WorkerPool:
         pool is then closed and :class:`PoolError` raised, which the
         serving layer treats as unrecoverable (clean shutdown for an
         external supervisor).  A respawn that itself fails is equally
-        fatal.
+        fatal.  Every outcome emits a structured log record carrying the
+        worker id, the fault cause (``eof`` vs ``hang`` vs ``pipe``), and
+        the replay count, so recoveries are debuggable after the fact.
         """
         now = time.monotonic()
         self._restart_times = [
             t for t in self._restart_times if now - t < self.restart_window_s
         ]
         if len(self._restart_times) >= self.max_worker_restarts:
+            event(
+                _LOG,
+                logging.ERROR,
+                "circuit breaker open",
+                worker=index,
+                cause=cause,
+                restarts_in_window=len(self._restart_times),
+                window_s=self.restart_window_s,
+                reason=reason,
+            )
             self.close()
             raise PoolError(
                 f"worker {index} lost ({reason}) after "
@@ -811,10 +886,28 @@ class WorkerPool:
         try:
             self._workers[index].respawn()
         except Exception as error:  # noqa: BLE001 - a failed respawn is fatal
+            event(
+                _LOG,
+                logging.ERROR,
+                "worker respawn failed",
+                worker=index,
+                cause=cause,
+                error=str(error),
+            )
             self.close()
             raise PoolError(f"could not respawn worker {index}: {error}")
         self._restart_times.append(now)
         self.worker_restarts += 1
+        event(
+            _LOG,
+            logging.WARNING,
+            "worker restarted",
+            worker=index,
+            cause=cause,
+            reason=reason,
+            restarts_in_window=len(self._restart_times),
+            replayed_batches_total=self.replayed_batches,
+        )
 
     def recent_restarts(self) -> int:
         """Worker respawns inside the current breaker window.
@@ -834,6 +927,36 @@ class WorkerPool:
             "worker_restarts": self.worker_restarts,
             "replayed_batches": self.replayed_batches,
         }
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Fold pool fault counters into metric families (at snapshot)."""
+        restarts = registry.counter(
+            "pool_worker_restarts_total", "Workers respawned after a loss."
+        )
+        restarts.set_total(self.worker_restarts)
+        replays = registry.counter(
+            "pool_replayed_batches_total",
+            "Batches requeued onto survivors after a worker loss.",
+        )
+        replays.set_total(self.replayed_batches)
+        resident = registry.gauge(
+            "pool_resident_programs", "Programs resident across worker caches."
+        )
+        resident.set(sum(len(s.resident_keys) for s in self.last_snapshots))
+
+    def metrics_snapshots(self) -> List[Dict[str, Any]]:
+        """Every registry snapshot this pool can see (pool + worker engines).
+
+        Worker snapshots are the latest each worker shipped with a flush
+        reply; a worker respawned since then reports its fresh (reset)
+        counters on its next flush — the standard Prometheus restart
+        semantics.
+        """
+        snapshots = [self.metrics.snapshot()]
+        snapshots.extend(s.metrics for s in self.last_snapshots if s.metrics)
+        return snapshots
 
     # -- stats --------------------------------------------------------------
 

@@ -9,6 +9,8 @@ Request lines (client → server)::
     {"op": "batch", "requests": [{"app": "search"}, {"app": "murmur3"}]}
     {"op": "ping"}
     {"op": "stats"}
+    {"op": "metrics"}
+    {"op": "slow"}
     {"op": "shutdown"}
 
 ``op`` defaults to ``request``, so a bare request object
@@ -47,6 +49,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.core.columnar import EXECUTOR_CHOICES
 from repro.runtime.faults import load_fault_plan
 from repro.runtime.gateway.admission import AdmissionController, PoolService
+from repro.runtime.logs import configure_logging
 from repro.runtime.pool import POOL_MODES, WorkerPool
 from repro.sim.policies import POLICIES
 
@@ -154,8 +157,23 @@ class _LineHandler(socketserver.StreamRequestHandler):
                 self._reply({"ok": True, "op": "ping", "version": PROTOCOL_VERSION})
             elif op == "stats":
                 self._reply(self.server.stats_payload())
+            elif op == "metrics":
+                # Same renderer as the gateway's GET /metrics, framed as a
+                # JSON envelope so the NDJSON protocol stays line-oriented.
+                self._reply(
+                    {
+                        "ok": True,
+                        "op": "metrics",
+                        "content_type": "text/plain; version=0.0.4",
+                        "text": self.server.service.metrics_text(),
+                    }
+                )
+            elif op == "slow":
+                self._reply(self.server.service.slow_payload())
             elif op == "request":
-                result = self.server.service.serve_payloads([payload])
+                result = self.server.service.serve_payloads(
+                    [payload], endpoint="request"
+                )
                 self._reply(result.results[0])
             elif op == "batch":
                 requests = payload.get("requests")
@@ -164,7 +182,7 @@ class _LineHandler(socketserver.StreamRequestHandler):
                         {"ok": False, "error": "'batch' needs a 'requests' list"}
                     )
                     continue
-                result = self.server.service.serve_payloads(requests)
+                result = self.server.service.serve_payloads(requests, endpoint="batch")
                 if result.shed:
                     # One top-level envelope, exactly as the HTTP gateway
                     # answers 429 for the whole batch.
@@ -330,12 +348,34 @@ def build_parser() -> argparse.ArgumentParser:
         "'[{\"kind\": \"kill\", \"worker\": 0, \"after_batches\": 1}]' "
         "(kinds: kill, hang, delay-reply, drop-reply, corrupt-cache)",
     )
+    parser.add_argument(
+        "--log-level",
+        type=str,
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="structured-log threshold for the repro.* loggers (default "
+        "info; worker restarts and breaker trips log at warning/error)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one JSON object per log line instead of human-readable "
+        "text (machine-parseable: ts/level/logger/msg + event fields)",
+    )
+    parser.add_argument(
+        "--slow-ring",
+        type=int,
+        default=32,
+        help="retain this many slowest front-door calls for the 'slow' op "
+        "and GET /v1/slow (default 32)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the socket/HTTP server; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_lines=args.log_json)
     pool = WorkerPool(
         workers=args.workers,
         mode=args.pool_mode,
@@ -360,7 +400,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     conn_timeout = args.conn_timeout if args.conn_timeout > 0 else None
     gateway = None
     with pool:
-        service = PoolService(pool, admission)
+        service = PoolService(pool, admission, slow_ring_size=args.slow_ring)
         server = RuntimeServer(
             (args.host, args.port), service=service, conn_timeout=conn_timeout
         )

@@ -153,6 +153,46 @@ class TestEndpoints:
         assert stats["gateway"]["requests"] >= 2
         assert "queue_wait_p99_s" in stats
 
+    def test_metrics_endpoint_serves_prometheus_text(self, gateway):
+        http_json(gateway, "POST", "/v1/batch",
+                  {"requests": [{"app": "search", "n_threads": 2}] * 3})
+        connection = http.client.HTTPConnection(
+            gateway.http_host, gateway.http_port, timeout=30.0
+        )
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            content_type = response.getheader("Content-Type", "")
+            text = response.read().decode("utf-8")
+        finally:
+            connection.close()
+        assert response.status == 200
+        assert content_type.startswith("text/plain; version=0.0.4")
+        assert "# TYPE frontdoor_requests_total counter" in text
+        assert 'frontdoor_requests_total{endpoint="/v1/batch",status="ok"} 3' in text
+        assert "gateway_events_total" in text
+
+    def test_slow_endpoint_reports_spans(self, gateway):
+        http_json(gateway, "POST", "/v1/request",
+                  {"app": "search", "n_threads": 2, "trace": True})
+        status, _, payload = http_json(gateway, "GET", "/v1/slow")
+        assert status == 200 and payload["ok"]
+        assert payload["recorded"] >= 1
+        assert payload["slowest"][0]["endpoint"] == "/v1/request"
+
+    def test_traced_http_request_carries_span(self, gateway):
+        status, _, traced = http_json(
+            gateway, "POST", "/v1/request",
+            {"app": "search", "n_threads": 2, "trace": True},
+        )
+        assert status == 200 and traced["ok"]
+        assert traced["trace"]["trace_id"]
+        assert traced["trace"]["endpoint"] == "/v1/request"
+        status, _, plain = http_json(
+            gateway, "POST", "/v1/request", {"app": "search", "n_threads": 2}
+        )
+        assert status == 200 and "trace" not in plain
+
     def test_unknown_path_is_404(self, gateway):
         status, _, payload = http_json(gateway, "GET", "/nope")
         assert status == 404 and not payload["ok"]

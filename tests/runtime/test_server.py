@@ -88,6 +88,41 @@ class TestProtocol:
         assert stats["pool"]["policy"] == "cache-affinity"
         assert len(stats["pool"]["workers"]) == 2
 
+    def test_metrics_op_returns_prometheus_text(self, server):
+        with connect(server) as client:
+            client.batch([{"app": "search", "n_threads": 2}] * 3)
+            reply = client.roundtrip({"op": "metrics"})
+        assert reply["ok"] and reply["op"] == "metrics"
+        assert reply["content_type"].startswith("text/plain; version=0.0.4")
+        assert "# TYPE engine_requests_total counter" in reply["text"]
+        assert "pool_flushes_total" in reply["text"]
+
+    def test_slow_op_returns_slowest_requests(self, server):
+        with connect(server) as client:
+            client.batch([{"app": "search", "n_threads": 2}] * 3)
+            reply = client.roundtrip({"op": "slow"})
+        assert reply["ok"] and reply["op"] == "slow"
+        assert reply["recorded"] >= 1
+        assert reply["slowest"][0]["endpoint"] == "batch"
+
+    def test_traced_request_carries_span(self, server):
+        with connect(server) as client:
+            traced = client.request(app="search", n_threads=2, trace=True)
+            plain = client.request(app="search", n_threads=2)
+            local = client.local_stats()
+        assert traced["ok"] and traced["trace"]["trace_id"]
+        assert traced["trace"]["endpoint"] == "request"
+        assert "trace" not in plain
+        assert local["roundtrips"] >= 2
+        assert local["latency"]["count"] == local["roundtrips"]
+
+    def test_stats_reply_includes_client_section(self, server):
+        with connect(server) as client:
+            client.batch([{"app": "search", "n_threads": 2}] * 2)
+            stats = client.stats()
+        assert stats["client"]["roundtrips"] >= 1
+        assert stats["client"]["sheds_429"] == 0
+
     def test_malformed_lines_get_error_envelopes(self, server):
         host, port = server.server_address[:2]
         with socket.create_connection((host, port), timeout=30.0) as raw:
